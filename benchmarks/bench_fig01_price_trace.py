@@ -1,0 +1,22 @@
+"""Fig. 1 — spot price of r3.xlarge vs its on-demand price.
+
+Regenerates the paper's motivating series: eleven days of a volatile
+spot market whose price sits at a deep discount most of the time and
+spikes far above on-demand during demand surges.
+"""
+
+from repro.analysis.experiments import fig1_price_trace
+from repro.analysis.reporting import format_table
+
+
+def test_fig1_price_trace(benchmark, context):
+    result = benchmark.pedantic(
+        fig1_price_trace, args=(context,), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(["series property", "value"], result.rows(), "Fig. 1 — r3.xlarge spot price"))
+
+    # The paper's qualitative claims about the series.
+    assert result.prices.min() < 0.5 * result.on_demand_price, "deep discount regime"
+    assert result.prices.max() > result.on_demand_price, "spikes above on-demand"
+    assert len(result.times) > 100, "sparse but non-trivial record count"

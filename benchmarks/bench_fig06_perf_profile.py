@@ -1,0 +1,27 @@
+"""Fig. 6 — performance profiling across the instance pool.
+
+Seconds-per-step of the ResNet workload on every Table III instance,
+plus the §IV-A5 stability check: the step-time coefficient of
+variation stays under 0.1, which is what makes the online performance
+matrix M practical.
+"""
+
+from repro.analysis.experiments import fig6_performance_profile
+from repro.analysis.reporting import format_table
+
+
+def test_fig6_performance_profile(benchmark, context):
+    result = benchmark.pedantic(
+        fig6_performance_profile, args=(context,), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(["instance", "speed"], result.rows(), "Fig. 6 — ResNet speed profile"))
+
+    speeds = result.seconds_per_step
+    # Paper's observation: price does not buy speed linearly — the
+    # pricier r3.xlarge is slower than r4.xlarge.
+    assert speeds["r3.xlarge"] > speeds["r4.xlarge"]
+    # The 16-core instance is the fastest overall.
+    assert min(speeds, key=speeds.get) == "m4.4xlarge"
+    # §IV-A5: step-time COV below 0.1.
+    assert result.step_time_cov < 0.1

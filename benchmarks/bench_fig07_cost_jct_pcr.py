@@ -1,0 +1,66 @@
+"""Fig. 7 — overall cost, JCT, and performance-cost rate.
+
+The paper's headline experiment: SpotTune (theta=0.7 and 1.0) against
+Single-Spot Tune on the cheapest (r4.large) and fastest (m4.4xlarge)
+instances, across all six Table II workloads.
+
+Shape targets (paper §IV-B1): SpotTune(0.7) has the lowest cost on
+every workload; SpotTune(1.0) undercuts both baselines; SpotTune's JCT
+falls between the cheapest and fastest baselines; the normalised PCR
+of SpotTune(0.7) tops every alternative.
+"""
+
+from repro.analysis.experiments import fig7_cost_jct_pcr
+from repro.analysis.reporting import format_table
+
+
+def test_fig7_cost_jct_pcr(benchmark, context):
+    result = benchmark.pedantic(fig7_cost_jct_pcr, args=(context,), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["workload", "approach", "cost ($)", "JCT (h)", "PCR (norm.)"],
+            result.rows(),
+            "Fig. 7 — cost / JCT / PCR",
+        )
+    )
+    summary = result.summary()
+    print()
+    print(
+        format_table(
+            ["aggregate", "measured", "paper"],
+            [
+                ["cost saving theta=1.0 vs cheapest", f"{summary['saving_theta10_vs_cheapest']:.1%}", "41.5%"],
+                ["cost saving theta=1.0 vs fastest", f"{summary['saving_theta10_vs_fastest']:.1%}", "86.0%"],
+                ["cost saving theta=0.7 vs theta=1.0", f"{summary['saving_theta07_vs_theta10']:.1%}", "57.2%"],
+                ["cost saving theta=0.7 vs cheapest", f"{summary['saving_theta07_vs_cheapest']:.1%}", "75.6%"],
+                ["cost saving theta=0.7 vs fastest", f"{summary['saving_theta07_vs_fastest']:.1%}", "94.2%"],
+                ["PCR theta=1.0 vs cheapest", f"{summary['pcr_theta10_vs_cheapest']:.2f}x", "2.65x"],
+                ["PCR theta=1.0 vs fastest", f"{summary['pcr_theta10_vs_fastest']:.2f}x", "3.36x"],
+                ["PCR theta=0.7 vs cheapest", f"{summary['pcr_theta07_vs_cheapest']:.2f}x", "13.11x"],
+                ["PCR theta=0.7 vs fastest", f"{summary['pcr_theta07_vs_fastest']:.2f}x", "16.61x"],
+            ],
+            "Fig. 7 — headline aggregates",
+        )
+    )
+
+    for workload in result.cost:
+        costs = result.cost[workload]
+        jcts = result.jct_hours[workload]
+        # SpotTune(0.7) is the cheapest approach on every workload.
+        assert costs["SpotTune(theta=0.7)"] == min(costs.values()), workload
+        # SpotTune(1.0) still beats both single-spot baselines.
+        assert costs["SpotTune(theta=1.0)"] < costs["Single-Spot Tune (Cheapest)"], workload
+        assert costs["SpotTune(theta=1.0)"] < costs["Single-Spot Tune (Fastest)"], workload
+        # JCT sits between the fastest and cheapest baselines.  A job
+        # whose every segment lands on the slowest instance can exceed
+        # the cheapest baseline by its checkpoint/redeploy overhead, so
+        # the upper bound carries a 10% tolerance.
+        assert jcts["Single-Spot Tune (Fastest)"] < jcts["SpotTune(theta=1.0)"], workload
+        assert (
+            jcts["SpotTune(theta=1.0)"] < 1.10 * jcts["Single-Spot Tune (Cheapest)"]
+        ), workload
+        # SpotTune(0.7) wins the performance-cost rate everywhere.
+        assert all(
+            result.pcr[workload][a] <= 1.0 + 1e-9 for a in result.pcr[workload]
+        ), workload

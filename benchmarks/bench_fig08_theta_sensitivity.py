@@ -1,0 +1,47 @@
+"""Fig. 8 — SpotTune's sensitivity against theta.
+
+Sweeps theta from 0.1 to 1.0 across the six workloads: cost grows
+roughly proportionally with theta, JCT near-linearly, and selection
+accuracy rises with theta — top-3 accuracy reaching 100% at
+theta >= 0.7, the paper's minimum reliable setting.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import fig8_theta_sensitivity
+from repro.analysis.reporting import format_table
+
+
+def test_fig8_theta_sensitivity(benchmark, context):
+    result = benchmark.pedantic(
+        fig8_theta_sensitivity, args=(context,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["theta", "mean cost ($)", "mean JCT (h)", "top-1 acc", "top-3 acc"],
+            result.rows(),
+            "Fig. 8 — sensitivity against theta",
+        )
+    )
+
+    thetas = np.asarray(result.thetas)
+    for workload, costs in result.cost.items():
+        # Cost grows with theta overall (paper: "the overall cost is
+        # proportional to theta", with occasional local inversions from
+        # refund luck — compare the endpoints).
+        assert costs[-1] > costs[0], workload
+        correlation = np.corrcoef(thetas, costs)[0, 1]
+        assert correlation > 0.7, (workload, correlation)
+    for workload, jcts in result.jct_hours.items():
+        correlation = np.corrcoef(thetas, jcts)[0, 1]
+        assert correlation > 0.9, (workload, correlation)  # near-linear
+
+    # Selection accuracy: perfect top-3 at theta >= 0.7.
+    for theta, top3 in zip(result.thetas, result.top3_accuracy):
+        if theta >= 0.7:
+            assert top3 == 1.0, (theta, top3)
+    # Low theta is allowed to mispredict; accuracy should not degrade
+    # as theta grows.
+    assert result.top3_accuracy[-1] >= result.top3_accuracy[0]
+    assert result.top1_accuracy[-1] >= result.top1_accuracy[0]

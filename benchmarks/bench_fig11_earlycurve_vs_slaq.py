@@ -1,0 +1,44 @@
+"""Fig. 11 — training-trend prediction: EarlyCurve vs SLAQ.
+
+Fits both models on the first theta = 0.7 of every ResNet
+configuration's validation curve and compares final-metric prediction
+errors.  SLAQ's one-stage fit cannot follow the periodic
+learning-rate-decay drops, so its error is significantly higher
+(paper Fig. 11b); on curves without stage structure the two coincide.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import fig11_earlycurve_vs_slaq
+from repro.analysis.reporting import format_table
+
+
+def test_fig11_earlycurve_vs_slaq(benchmark, context):
+    result = benchmark.pedantic(
+        fig11_earlycurve_vs_slaq, args=(context,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["ResNet configuration", "EarlyCurve |err|", "SLAQ |err|"],
+            result.rows(),
+            "Fig. 11 — final-metric prediction error (theta = 0.7)",
+        )
+    )
+    print(f"\nexample config: truth {result.example_truth:.4f}, "
+          f"EarlyCurve {result.example_earlycurve:.4f}, "
+          f"SLAQ {result.example_slaq:.4f}")
+    print(f"mean SLAQ error / mean EarlyCurve error: {result.mean_error_ratio:.1f}x")
+
+    assert len(result.earlycurve_errors) == 16
+    # EarlyCurve's mean error is well below SLAQ's on staged curves.
+    assert np.mean(result.earlycurve_errors) < 0.5 * np.mean(result.slaq_errors)
+    # EarlyCurve wins on the clear majority of configurations.
+    wins = sum(
+        ec < sl for ec, sl in zip(result.earlycurve_errors, result.slaq_errors)
+    )
+    assert wins >= 12
+    # And the example prediction is close to the truth.
+    assert abs(result.example_earlycurve - result.example_truth) < abs(
+        result.example_slaq - result.example_truth
+    )

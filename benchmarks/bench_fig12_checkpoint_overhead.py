@@ -1,0 +1,37 @@
+"""Fig. 12 and §IV-F — checkpoint-restore overhead.
+
+Measures the share of SpotTune's wall time spent checkpointing to and
+restoring from the object store (paper: under 10% on average), and
+verifies the CPU-bound throughput model against the paper's measured
+anchors: 62.83 MB/s / 7.36 GB max model on t2.micro and 134.22 MB/s /
+15.73 GB on m4.4xlarge.
+"""
+
+import pytest
+
+from repro.analysis.experiments import fig12_checkpoint_overhead
+from repro.analysis.reporting import format_table
+
+
+def test_fig12_checkpoint_overhead(benchmark, context):
+    result = benchmark.pedantic(
+        fig12_checkpoint_overhead, args=(context,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["item", "value"],
+            result.rows(),
+            "Fig. 12 — checkpoint-restore overhead (theta = 0.7)",
+        )
+    )
+    print(f"\nmean overhead: {result.mean_overhead:.2%} (paper: <10% on average)")
+
+    # Every workload keeps checkpoint-restore below 10% of wall time.
+    for workload, fraction in result.overhead_fraction.items():
+        assert fraction < 0.10, (workload, fraction)
+    # §IV-F calibration anchors reproduce exactly.
+    assert result.throughput_mb_s["t2.micro"] == pytest.approx(62.83)
+    assert result.throughput_mb_s["m4.4xlarge"] == pytest.approx(134.22)
+    assert result.max_model_gb["t2.micro"] == pytest.approx(7.36, abs=0.01)
+    assert result.max_model_gb["m4.4xlarge"] == pytest.approx(15.73, abs=0.01)

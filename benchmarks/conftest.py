@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark suite.
+
+The experiment context (synthetic dataset + the trained RevPred and
+Tributary banks) is built once per session; individual figure
+benchmarks reuse it, so bank training time is paid once and each
+benchmark measures its own experiment.
+
+Set ``REPRO_BENCH_SCALE=paper`` for paper-scale model dimensions and
+training schedules (slower), or leave the default ``small``.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.context import build_context
+
+
+@pytest.fixture(scope="session")
+def context():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    return build_context(seed=0, scale=scale)

@@ -1,0 +1,201 @@
+"""Shared experiment context: dataset, trained predictors, split.
+
+Building the context is the expensive part of the evaluation (training
+one RevPred and one Tributary model per market), so every figure
+runner takes a prebuilt :class:`ExperimentContext` and the benchmark
+suite builds it once per session.
+
+Mirrors the paper's protocol: twelve days of market data, models
+trained on the first nine (04/26-05/04) and everything evaluated —
+prediction accuracy and HPT replay alike — on the final three days
+(05/05-05/07).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.market.dataset import SpotPriceDataset, generate_default_dataset
+from repro.market.trace import MINUTE
+from repro.revpred.model import RevPredNetwork
+from repro.revpred.predictor import CachingPredictor, PredictorBank
+from repro.revpred.trainer import RevPredTrainer, train_predictor_bank
+from repro.revpred.tributary import TributaryNetwork
+from repro.sim.clock import DAY
+from repro.workloads.speed import SpeedModel
+
+#: Days of market data and the train/test split point (paper §IV-D).
+TOTAL_DAYS = 12.0
+TRAIN_DAYS = 9.0
+
+
+@dataclass
+class ExperimentContext:
+    """Everything the figure runners share."""
+
+    seed: int = 0
+    #: Model scale: compact dimensions keep the CPU-only benchmark
+    #: suite fast; "paper" uses larger dimensions and longer training.
+    scale: str = "small"
+    speed_model: SpeedModel = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.scale not in ("small", "paper"):
+            raise ValueError(f"scale must be 'small' or 'paper': {self.scale}")
+        self.speed_model = SpeedModel(seed=self.seed)
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+    @cached_property
+    def dataset(self) -> SpotPriceDataset:
+        return generate_default_dataset(seed=self.seed, days=TOTAL_DAYS)
+
+    @cached_property
+    def split(self) -> tuple[SpotPriceDataset, SpotPriceDataset]:
+        return self.dataset.split(self.split_time)
+
+    @property
+    def train_dataset(self) -> SpotPriceDataset:
+        return self.split[0]
+
+    @property
+    def test_dataset(self) -> SpotPriceDataset:
+        return self.split[1]
+
+    @property
+    def split_time(self) -> float:
+        return TRAIN_DAYS * DAY
+
+    @property
+    def replay_start(self) -> float:
+        """Where HPT replays begin: inside the test window, with enough
+        context behind it for feature extraction."""
+        return self.split_time + 2 * 3600.0
+
+    # ------------------------------------------------------------------
+    # Trained predictors
+    # ------------------------------------------------------------------
+    def _trainer(self) -> RevPredTrainer:
+        if self.scale == "paper":
+            return RevPredTrainer(lr=0.003, epochs=25, batch_size=64, seed=self.seed)
+        return RevPredTrainer(lr=0.005, epochs=12, batch_size=64, seed=self.seed)
+
+    def _dims(self) -> dict:
+        if self.scale == "paper":
+            return {"lstm_hidden": 64, "lstm_layers": 3, "fc_hidden": 64}
+        return {"lstm_hidden": 24, "lstm_layers": 3, "fc_hidden": 24}
+
+    def _sample_interval(self) -> float:
+        return 5 * MINUTE if self.scale == "paper" else 10 * MINUTE
+
+    @cached_property
+    def revpred_bank(self) -> PredictorBank:
+        """RevPred models (Algorithm 2 labels, two-branch network)."""
+        dims = self._dims()
+        return train_predictor_bank(
+            self.train_dataset,
+            inference_dataset=self.dataset,
+            model_factory=lambda seed: RevPredNetwork(
+                rng=np.random.default_rng(seed), **dims
+            ),
+            delta_mode="fluctuation",
+            sample_interval=self._sample_interval(),
+            trainer=self._trainer(),
+            seed=self.seed,
+        )
+
+    @cached_property
+    def tributary_bank(self) -> PredictorBank:
+        """Tributary Predict baseline (uniform deltas, single stream)."""
+        dims = self._dims()
+        return train_predictor_bank(
+            self.train_dataset,
+            inference_dataset=self.dataset,
+            model_factory=lambda seed: TributaryNetwork(
+                rng=np.random.default_rng(seed),
+                lstm_hidden=dims["lstm_hidden"],
+                lstm_layers=dims["lstm_layers"],
+            ),
+            delta_mode="uniform",
+            sample_interval=self._sample_interval(),
+            trainer=self._trainer(),
+            seed=self.seed,
+        )
+
+    def cached_revpred(self) -> CachingPredictor:
+        """Fresh memoising view of the RevPred bank for one run."""
+        return CachingPredictor(self.revpred_bank)
+
+    def cached_tributary(self) -> CachingPredictor:
+        return CachingPredictor(self.tributary_bank)
+
+    # ------------------------------------------------------------------
+    # Shared run cache — several figures consume the same runs
+    # (Fig. 7's theta=0.7 rows are Fig. 9's and Fig. 12's inputs), so
+    # runs are memoised by (workload, theta, predictor kind).
+    # ------------------------------------------------------------------
+    @cached_property
+    def _run_cache(self) -> dict:
+        return {}
+
+    def spottune_run(self, workload_name: str, theta: float, predictor_kind: str = "revpred"):
+        """Memoised SpotTune run for one (workload, theta, predictor)."""
+        from repro.core.config import SpotTuneConfig
+        from repro.core.orchestrator import SpotTuneOrchestrator
+        from repro.workloads.catalog import get_workload
+        from repro.workloads.trial import make_trials
+
+        from repro.revpred.predictor import ConstantPredictor, OraclePredictor
+
+        key = ("spottune", workload_name, round(theta, 3), predictor_kind)
+        if key not in self._run_cache:
+            if predictor_kind == "revpred":
+                predictor = self.cached_revpred()
+            elif predictor_kind == "tributary":
+                predictor = self.cached_tributary()
+            elif predictor_kind == "oracle":
+                predictor = OraclePredictor(self.dataset)
+            elif predictor_kind == "constant":
+                predictor = ConstantPredictor(0.0)
+            else:
+                raise ValueError(f"unknown predictor kind: {predictor_kind!r}")
+            workload = get_workload(workload_name)
+            orchestrator = SpotTuneOrchestrator(
+                workload,
+                make_trials(workload, seed=self.seed),
+                self.dataset,
+                predictor,
+                SpotTuneConfig(theta=theta, seed=self.seed),
+                speed_model=self.speed_model,
+                start_time=self.replay_start,
+            )
+            self._run_cache[key] = orchestrator.run()
+        return self._run_cache[key]
+
+    def baseline_run(self, workload_name: str, instance_name: str):
+        """Memoised Single-Spot baseline run."""
+        from repro.core.baselines import run_single_spot
+        from repro.workloads.catalog import get_workload
+        from repro.workloads.trial import make_trials
+
+        key = ("baseline", workload_name, instance_name)
+        if key not in self._run_cache:
+            workload = get_workload(workload_name)
+            self._run_cache[key] = run_single_spot(
+                workload,
+                make_trials(workload, seed=self.seed),
+                self.dataset,
+                instance_name,
+                speed_model=self.speed_model,
+                start_time=self.replay_start,
+            )
+        return self._run_cache[key]
+
+
+def build_context(seed: int = 0, scale: str = "small") -> ExperimentContext:
+    """Convenience constructor used by benchmarks and examples."""
+    return ExperimentContext(seed=seed, scale=scale)

@@ -1,0 +1,41 @@
+"""Aggregate metrics used across the evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def coefficient_of_variation(samples) -> float:
+    """std / mean — the paper's step-time stability measure (§IV-A5)."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("no samples")
+    mean = float(np.mean(samples))
+    if mean == 0.0:
+        raise ValueError("mean is zero; COV undefined")
+    return float(np.std(samples)) / mean
+
+
+def normalized_pcr(
+    jct_cost_by_approach: dict[str, tuple[float, float]],
+    reference: str,
+) -> dict[str, float]:
+    """Performance-cost rate alpha/(JCT*cost), normalised so that the
+    ``reference`` approach scores 1.0 (Fig. 7c's presentation)."""
+    if reference not in jct_cost_by_approach:
+        raise KeyError(f"reference {reference!r} not among approaches")
+    raw = {}
+    for name, (jct, cost) in jct_cost_by_approach.items():
+        if jct <= 0 or cost <= 0:
+            raise ValueError(f"{name}: JCT and cost must be positive")
+        raw[name] = 1.0 / (jct * cost)
+    scale = raw[reference]
+    return {name: value / scale for name, value in raw.items()}
+
+
+def relative_saving(baseline: float, improved: float) -> float:
+    """Fractional saving of ``improved`` over ``baseline`` (e.g. the
+    paper's "saves 41.5% compared with the cheapest")."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive: {baseline}")
+    return (baseline - improved) / baseline

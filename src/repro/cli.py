@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures [--only figN ...] [--scale small|paper] [--seed N]`` —
+  regenerate the paper's evaluation figures as text tables;
+* ``tune --workload LoR [--theta 0.7] [--predictor oracle|revpred]`` —
+  run one SpotTune HPT simulation and print its accounting;
+* ``trace --instance r3.xlarge [--days 12] [--out prices.csv]`` —
+  generate and optionally export a synthetic spot-price dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.context import build_context
+from repro.analysis.reporting import format_table
+
+FIGURES = ("fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10ab", "fig10c", "fig11", "fig12")
+
+
+def _run_figures(args: argparse.Namespace) -> int:
+    from repro.analysis import experiments as exp
+
+    context = build_context(seed=args.seed, scale=args.scale)
+    selected = args.only if args.only else list(FIGURES)
+    runners = {
+        "fig1": (exp.fig1_price_trace, ["series property", "value"]),
+        "fig5": (exp.fig5_loss_curves, ["curve", "start", "end"]),
+        "fig6": (exp.fig6_performance_profile, ["instance", "speed"]),
+        "fig7": (exp.fig7_cost_jct_pcr, ["workload", "approach", "cost ($)", "JCT (h)", "PCR"]),
+        "fig8": (
+            exp.fig8_theta_sensitivity,
+            ["theta", "mean cost ($)", "mean JCT (h)", "top-1", "top-3"],
+        ),
+        "fig9": (exp.fig9_refund_contribution, ["workload", "free steps", "refund share"]),
+        "fig10ab": (exp.fig10ab_revpred_accuracy, ["model", "accuracy", "F1", "n"]),
+        "fig10c": (exp.fig10c_predictor_effect, ["workload", "predictor", "cost ($)", "PCR"]),
+        "fig11": (exp.fig11_earlycurve_vs_slaq, ["configuration", "EarlyCurve |err|", "SLAQ |err|"]),
+        "fig12": (exp.fig12_checkpoint_overhead, ["item", "value"]),
+    }
+    for figure in selected:
+        if figure not in runners:
+            print(f"unknown figure {figure!r}; choose from {', '.join(FIGURES)}", file=sys.stderr)
+            return 2
+        runner, headers = runners[figure]
+        print(f"running {figure}...", flush=True)
+        result = runner(context)
+        print(format_table(headers, result.rows(), title=f"== {figure} =="))
+        print()
+    return 0
+
+
+def _run_tune(args: argparse.Namespace) -> int:
+    from repro.core.baselines import run_single_spot
+    from repro.core.config import SpotTuneConfig
+    from repro.core.orchestrator import SpotTuneOrchestrator
+    from repro.revpred.predictor import OraclePredictor
+    from repro.workloads.catalog import get_workload
+    from repro.workloads.trial import make_trials
+
+    context = build_context(seed=args.seed, scale=args.scale)
+    workload = get_workload(args.workload)
+    trials = make_trials(workload, seed=args.seed)
+    if args.predictor == "oracle":
+        predictor = OraclePredictor(context.dataset)
+    else:
+        predictor = context.cached_revpred()
+    orchestrator = SpotTuneOrchestrator(
+        workload,
+        trials,
+        context.dataset,
+        predictor,
+        SpotTuneConfig(theta=args.theta, seed=args.seed),
+        speed_model=context.speed_model,
+        start_time=context.replay_start,
+    )
+    result = orchestrator.run()
+    cheapest = run_single_spot(
+        workload, trials, context.dataset, "r4.large",
+        speed_model=context.speed_model, start_time=context.replay_start,
+    )
+    rows = [
+        ["cost ($)", f"{result.total_paid:.2f}", f"{cheapest.total_paid:.2f}"],
+        ["JCT (h)", f"{result.jct / 3600:.2f}", f"{cheapest.jct / 3600:.2f}"],
+        ["free steps", f"{result.free_step_fraction:.1%}", "0.0%"],
+        ["refunds ($)", f"{result.total_refunded:.2f}", "0.00"],
+        ["overhead", f"{result.overhead_fraction:.2%}", "0.00%"],
+    ]
+    print(format_table(
+        ["metric", f"SpotTune(theta={args.theta})", "Single-Spot (Cheapest)"],
+        rows,
+        title=f"== {workload.name}: {len(trials)} configurations ==",
+    ))
+    print("\nselected top models:")
+    for rank, trial_id in enumerate(result.selected, start=1):
+        print(f"  {rank}. {trial_id} (predicted {result.predictions[trial_id]:.4f})")
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.market.dataset import generate_default_dataset
+
+    dataset = generate_default_dataset(seed=args.seed, days=args.days)
+    rows = []
+    for name in dataset.instance_types:
+        trace = dataset[name]
+        rows.append([name, str(len(trace)), f"{trace.prices.min():.4f}", f"{trace.prices.max():.4f}"])
+    print(format_table(["market", "records", "min ($/h)", "max ($/h)"], rows,
+                       title=f"== synthetic dataset: {args.days} days, seed {args.seed} =="))
+    if args.out:
+        dataset.save_csv(args.out)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SpotTune reproduction command-line interface"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument(
+        "--scale", choices=("small", "paper"), default="small",
+        help="model/training scale for trained predictors",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("--only", nargs="*", metavar="FIG", help=f"subset of: {', '.join(FIGURES)}")
+    figures.set_defaults(func=_run_figures)
+
+    tune = sub.add_parser("tune", help="run one SpotTune HPT simulation")
+    tune.add_argument("--workload", default="LoR")
+    tune.add_argument("--theta", type=float, default=0.7)
+    tune.add_argument("--predictor", choices=("oracle", "revpred"), default="oracle")
+    tune.set_defaults(func=_run_tune)
+
+    trace = sub.add_parser("trace", help="generate a synthetic price dataset")
+    trace.add_argument("--days", type=float, default=12.0)
+    trace.add_argument("--out", help="CSV output path")
+    trace.set_defaults(func=_run_trace)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Simulated public-cloud substrate.
+
+Implements the parts of AWS EC2 + S3 that SpotTune depends on: the
+instance catalog (paper Table III), spot VM lifecycle driven by replayed
+price traces, per-second billing with the first-instance-hour refund on
+provider revocation, the two-minute termination notice, and an object
+store with a CPU-bound checkpoint throughput model (paper §IV-F).
+"""
+
+from repro.cloud.billing import BillingEngine, ChargeRecord
+from repro.cloud.instance import (
+    DEFAULT_INSTANCE_POOL,
+    INSTANCE_CATALOG,
+    InstanceType,
+    get_instance_type,
+)
+from repro.cloud.provider import SimCloudProvider, SpotRequest
+from repro.cloud.storage import CheckpointThroughputModel, ObjectStore, StoredObject
+from repro.cloud.vm import SpotVM, VMState
+
+__all__ = [
+    "BillingEngine",
+    "ChargeRecord",
+    "DEFAULT_INSTANCE_POOL",
+    "INSTANCE_CATALOG",
+    "InstanceType",
+    "get_instance_type",
+    "SimCloudProvider",
+    "SpotRequest",
+    "CheckpointThroughputModel",
+    "ObjectStore",
+    "StoredObject",
+    "SpotVM",
+    "VMState",
+]

@@ -1,0 +1,78 @@
+"""EC2 instance-type catalog.
+
+The experimental pool is the six instance types of paper Table III,
+plus ``t2.micro`` which §IV-F uses as the small-machine testbed for
+checkpoint throughput.  On-demand prices are the paper's (USD/hour,
+us-east-1, 2017 pricing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A cloud instance type.
+
+    Attributes:
+        name: EC2 API name, e.g. ``"r3.xlarge"``.
+        cpus: Number of vCPUs.
+        memory_gb: RAM in GiB.
+        on_demand_price: Reliable-instance price in USD/hour.
+    """
+
+    name: str
+    cpus: int
+    memory_gb: float
+    on_demand_price: float
+
+    def __post_init__(self) -> None:
+        if self.cpus <= 0:
+            raise ValueError(f"{self.name}: cpus must be positive, got {self.cpus}")
+        if self.on_demand_price <= 0:
+            raise ValueError(
+                f"{self.name}: on-demand price must be positive, got {self.on_demand_price}"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Paper Table III, in ascending on-demand price order, plus t2.micro (§IV-F).
+INSTANCE_CATALOG: dict[str, InstanceType] = {
+    instance.name: instance
+    for instance in (
+        InstanceType("t2.micro", 1, 1.0, 0.0116),
+        InstanceType("r4.large", 2, 15.25, 0.133),
+        InstanceType("r4.xlarge", 4, 30.5, 0.266),
+        InstanceType("r3.xlarge", 4, 30.0, 0.33),
+        InstanceType("m4.2xlarge", 8, 32.0, 0.4),
+        InstanceType("r4.2xlarge", 8, 61.0, 0.532),
+        InstanceType("m4.4xlarge", 16, 64.0, 0.8),
+    )
+}
+
+#: The six-type experimental spot pool of Table III (t2.micro excluded:
+#: the paper uses it only for the checkpoint-throughput measurement).
+DEFAULT_INSTANCE_POOL: tuple[InstanceType, ...] = tuple(
+    INSTANCE_CATALOG[name]
+    for name in (
+        "r4.large",
+        "r4.xlarge",
+        "r3.xlarge",
+        "m4.2xlarge",
+        "r4.2xlarge",
+        "m4.4xlarge",
+    )
+)
+
+
+def get_instance_type(name: str) -> InstanceType:
+    """Look up an instance type by name; raises ``KeyError`` with the
+    known names when absent."""
+    try:
+        return INSTANCE_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(INSTANCE_CATALOG))
+        raise KeyError(f"unknown instance type {name!r}; known types: {known}") from None

@@ -1,0 +1,178 @@
+"""Simulated spot-instance provider.
+
+Replays per-market price traces to drive the full spot lifecycle:
+
+* a request is fulfilled only while the market price is at or below the
+  requested maximum price;
+* when the market price later exceeds the maximum price, the provider
+  delivers a termination notice two minutes ahead (paper §II-A) and
+  then revokes the VM;
+* billing is settled through :class:`~repro.cloud.billing.BillingEngine`
+  with the first-instance-hour refund rule.
+
+Revocation timing comes straight from the trace
+(:meth:`PriceTrace.first_time_above`), so a simulation run is exactly
+reproducible from the dataset.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.cloud.billing import BillingEngine
+from repro.cloud.instance import InstanceType
+from repro.cloud.vm import SpotVM, VMState
+from repro.sim.events import Event, Simulation
+
+if TYPE_CHECKING:  # avoid a circular import at runtime (market -> cloud)
+    from repro.market.dataset import SpotPriceDataset
+
+#: Seconds of warning AWS gives before revoking a spot instance.
+TERMINATION_NOTICE_SECONDS = 120.0
+
+
+class SpotRequest:
+    """Outcome of a spot request: fulfilled VM or a rejection reason."""
+
+    def __init__(self, vm: Optional[SpotVM], reason: str = "") -> None:
+        self.vm = vm
+        self.reason = reason
+
+    @property
+    def fulfilled(self) -> bool:
+        return self.vm is not None
+
+
+class SimCloudProvider:
+    """EC2-spot-like provider over replayed price traces."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        dataset: "SpotPriceDataset",
+        launch_delay: float = 0.0,
+    ) -> None:
+        if launch_delay < 0:
+            raise ValueError(f"launch delay cannot be negative: {launch_delay}")
+        self.sim = sim
+        self.dataset = dataset
+        self.launch_delay = float(launch_delay)
+        self.billing = BillingEngine()
+        self.active_vms: dict[str, SpotVM] = {}
+        self._vm_counter = itertools.count()
+        self._pending_events: dict[str, list[Event]] = {}
+        self._revocation_callbacks: dict[str, Optional[Callable[[SpotVM], None]]] = {}
+
+    # ------------------------------------------------------------------
+    # Market queries
+    # ------------------------------------------------------------------
+    def current_price(self, instance: InstanceType) -> float:
+        """Spot market price of ``instance`` right now."""
+        return self.dataset[instance.name].price_at(self.sim.now)
+
+    def mean_price_last_hour(self, instance: InstanceType) -> float:
+        """Average market price over the trailing hour (Eq. 1 input)."""
+        trace = self.dataset[instance.name]
+        start = max(trace.start, self.sim.now - 3600.0)
+        return trace.mean_price_in(start, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def request_spot(
+        self,
+        instance: InstanceType,
+        max_price: float,
+        on_revocation: Optional[Callable[[SpotVM], None]] = None,
+    ) -> SpotRequest:
+        """Request a spot VM; fulfilled iff market price <= max price."""
+        trace = self.dataset[instance.name]
+        now = self.sim.now
+        market_price = trace.price_at(now)
+        if market_price > max_price:
+            return SpotRequest(
+                None,
+                f"market price {market_price:.4f} exceeds max price {max_price:.4f}",
+            )
+        launch_time = now + self.launch_delay
+        vm = SpotVM(
+            vm_id=f"vm-{next(self._vm_counter)}",
+            instance=instance,
+            max_price=max_price,
+            launch_time=launch_time,
+        )
+        self.active_vms[vm.vm_id] = vm
+        self._revocation_callbacks[vm.vm_id] = on_revocation
+        self._schedule_revocation(vm, trace)
+        return SpotRequest(vm)
+
+    def terminate(self, vm: SpotVM) -> None:
+        """User-initiated shutdown: settles the bill with no refund."""
+        if not vm.is_running:
+            raise ValueError(f"{vm.vm_id} is not running (state={vm.state.value})")
+        self._cancel_pending(vm)
+        vm.state = VMState.TERMINATED
+        vm.end_time = self.sim.now
+        vm.charge = self.billing.settle(
+            vm.vm_id,
+            self.dataset[vm.instance.name],
+            vm.launch_time,
+            vm.end_time,
+            revoked_by_provider=False,
+        )
+        self.active_vms.pop(vm.vm_id, None)
+        self._revocation_callbacks.pop(vm.vm_id, None)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _schedule_revocation(self, vm: SpotVM, trace) -> None:
+        revocation_time = trace.first_time_above(
+            vm.max_price, vm.launch_time, trace.end
+        )
+        if revocation_time is None:
+            return  # price never crosses within the trace: VM is safe
+        notice_time = max(vm.launch_time, revocation_time - TERMINATION_NOTICE_SECONDS)
+        events = []
+        if notice_time >= self.sim.now:
+            events.append(
+                self.sim.schedule_at(
+                    notice_time, lambda: self._deliver_notice(vm), f"notice:{vm.vm_id}"
+                )
+            )
+        events.append(
+            self.sim.schedule_at(
+                max(self.sim.now, revocation_time),
+                lambda: self._revoke(vm),
+                f"revoke:{vm.vm_id}",
+            )
+        )
+        self._pending_events[vm.vm_id] = events
+
+    def _deliver_notice(self, vm: SpotVM) -> None:
+        if vm.is_running:
+            vm.notice_pending = True
+            vm.notice_time = self.sim.now
+
+    def _revoke(self, vm: SpotVM) -> None:
+        if not vm.is_running:
+            return
+        vm.state = VMState.REVOKED
+        vm.end_time = self.sim.now
+        vm.charge = self.billing.settle(
+            vm.vm_id,
+            self.dataset[vm.instance.name],
+            vm.launch_time,
+            vm.end_time,
+            revoked_by_provider=True,
+        )
+        self.active_vms.pop(vm.vm_id, None)
+        callback = self._revocation_callbacks.pop(vm.vm_id, None)
+        self._pending_events.pop(vm.vm_id, None)
+        if callback is not None:
+            callback(vm)
+
+    def _cancel_pending(self, vm: SpotVM) -> None:
+        for event in self._pending_events.pop(vm.vm_id, []):
+            event.cancel()

@@ -1,0 +1,126 @@
+"""Remote object storage (S3 stand-in) and checkpoint throughput model.
+
+The paper measures checkpointing to S3 (via s3fs) to be CPU-bound
+(§IV-F): 62.83 MB/s on a 1-core t2.micro and 134.22 MB/s on a 16-core
+m4.4xlarge.  We calibrate a log-linear throughput model through those
+two measurements:
+
+    speed(cpus) = 62.83 + 17.8475 * log2(cpus)   [MB/s]
+
+which reproduces both endpoints exactly.  The maximum checkpointable
+model size for an instance is speed * 120 s — everything that can be
+pushed out between the revocation notice and the actual revocation —
+giving the paper's 15.73 GB (m4.4xlarge) and 7.36 GB (t2.micro).
+
+The object store itself versions objects by key and tracks transfer
+statistics so experiments can report checkpoint-restore overhead
+(paper Fig. 12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.cloud.instance import InstanceType
+
+#: Seconds between the AWS termination notice and the revocation.
+NOTICE_WINDOW_SECONDS = 120.0
+
+#: Calibration anchors from paper §IV-F.
+_SPEED_1_CORE_MB_S = 62.83
+_SPEED_16_CORE_MB_S = 134.22
+
+
+@dataclass(frozen=True)
+class CheckpointThroughputModel:
+    """CPU-bound checkpoint/restore throughput model."""
+
+    base_mb_s: float = _SPEED_1_CORE_MB_S
+    per_doubling_mb_s: float = (_SPEED_16_CORE_MB_S - _SPEED_1_CORE_MB_S) / 4.0
+    restore_factor: float = 1.0
+
+    def speed_mb_s(self, instance: InstanceType) -> float:
+        """Upload throughput of ``instance`` in MB/s."""
+        return self.base_mb_s + self.per_doubling_mb_s * math.log2(instance.cpus)
+
+    def checkpoint_duration(self, size_mb: float, instance: InstanceType) -> float:
+        """Seconds to checkpoint ``size_mb`` from ``instance``."""
+        if size_mb < 0:
+            raise ValueError(f"size cannot be negative: {size_mb}")
+        return size_mb / self.speed_mb_s(instance)
+
+    def restore_duration(self, size_mb: float, instance: InstanceType) -> float:
+        """Seconds to restore ``size_mb`` onto ``instance``."""
+        if size_mb < 0:
+            raise ValueError(f"size cannot be negative: {size_mb}")
+        return size_mb / (self.speed_mb_s(instance) * self.restore_factor)
+
+    def max_model_size_mb(self, instance: InstanceType) -> float:
+        """Largest checkpoint that fits in the 2-minute notice window."""
+        return self.speed_mb_s(instance) * NOTICE_WINDOW_SECONDS
+
+    def fits_in_notice_window(self, size_mb: float, instance: InstanceType) -> bool:
+        """Whether a model of ``size_mb`` can be saved before revocation."""
+        return size_mb <= self.max_model_size_mb(instance)
+
+
+@dataclass
+class StoredObject:
+    """One versioned object in the store."""
+
+    key: str
+    size_mb: float
+    payload: Any
+    version: int
+    stored_at: float
+
+
+@dataclass
+class ObjectStore:
+    """A durable key-value object store with transfer accounting."""
+
+    throughput: CheckpointThroughputModel = field(default_factory=CheckpointThroughputModel)
+    _objects: dict[str, StoredObject] = field(default_factory=dict)
+    total_uploaded_mb: float = 0.0
+    total_downloaded_mb: float = 0.0
+    upload_count: int = 0
+    download_count: int = 0
+
+    def put(
+        self,
+        key: str,
+        size_mb: float,
+        instance: InstanceType,
+        payload: Any = None,
+        now: float = 0.0,
+    ) -> float:
+        """Store an object; returns the simulated upload duration."""
+        if size_mb < 0:
+            raise ValueError(f"size cannot be negative: {size_mb}")
+        previous = self._objects.get(key)
+        version = previous.version + 1 if previous else 1
+        self._objects[key] = StoredObject(key, size_mb, payload, version, now)
+        self.total_uploaded_mb += size_mb
+        self.upload_count += 1
+        return self.throughput.checkpoint_duration(size_mb, instance)
+
+    def get(self, key: str, instance: InstanceType) -> tuple[StoredObject, float]:
+        """Fetch an object; returns (object, simulated download duration)."""
+        if key not in self._objects:
+            raise KeyError(f"no object stored under {key!r}")
+        obj = self._objects[key]
+        self.total_downloaded_mb += obj.size_mb
+        self.download_count += 1
+        return obj, self.throughput.restore_duration(obj.size_mb, instance)
+
+    def head(self, key: str) -> Optional[StoredObject]:
+        """Metadata lookup without a transfer."""
+        return self._objects.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)

@@ -1,0 +1,68 @@
+"""Spot VM lifecycle state.
+
+A :class:`SpotVM` is created by the provider when a spot request is
+fulfilled and transitions through exactly one of two terminal states:
+``REVOKED`` (market price exceeded the maximum price; preceded by a
+two-minute notice) or ``TERMINATED`` (the user shut it down first).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cloud.billing import ChargeRecord
+from repro.cloud.instance import InstanceType
+
+
+class VMState(enum.Enum):
+    RUNNING = "running"
+    REVOKED = "revoked"
+    TERMINATED = "terminated"
+
+
+@dataclass
+class SpotVM:
+    """A fulfilled spot instance request."""
+
+    vm_id: str
+    instance: InstanceType
+    max_price: float
+    launch_time: float
+    state: VMState = VMState.RUNNING
+    end_time: Optional[float] = None
+    notice_time: Optional[float] = None
+    notice_pending: bool = field(default=False)
+    charge: Optional[ChargeRecord] = None
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is VMState.RUNNING
+
+    @property
+    def was_revoked(self) -> bool:
+        return self.state is VMState.REVOKED
+
+    def uptime(self, now: float) -> float:
+        """Seconds the VM has been (or was) up as of ``now``."""
+        end = self.end_time if self.end_time is not None else now
+        return max(0.0, end - self.launch_time)
+
+    def consume_notice(self) -> bool:
+        """Return True exactly once after the revocation notice lands.
+
+        Algorithm 1 polls "receive the revocation notice of VM"; this
+        models the poll reading the AWS instance-metadata termination
+        notice endpoint, which the orchestrator acts on once.
+        """
+        if self.notice_pending:
+            self.notice_pending = False
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"SpotVM({self.vm_id}, {self.instance.name}, state={self.state.value}, "
+            f"launched={self.launch_time:.0f})"
+        )

@@ -1,0 +1,35 @@
+"""SpotTune core: the Provisioner and the Orchestrator (paper §III).
+
+This package is the paper's primary contribution.  The
+:class:`Provisioner` chooses, for each HPT job, the spot instance with
+the lowest expected *step cost* (Equations 1-2) by combining RevPred's
+revocation probability with the online performance matrix M.  The
+:class:`SpotTuneOrchestrator` drives Algorithm 1: a 10-second polling
+loop that checkpoints on revocation notices, force-recycles VMs at the
+one-instance-hour boundary to farm the first-hour refund, stops jobs
+at theta * max_trial_steps, ranks configurations with EarlyCurve, and
+optionally continues the top-mcnt models from their checkpoints.
+
+:mod:`repro.core.baselines` implements the paper's comparison points:
+Single-Spot Tune on the cheapest (r4.large) and fastest (m4.4xlarge)
+instances.
+"""
+
+from repro.core.accounting import JobRecord, RunResult, SegmentRecord
+from repro.core.baselines import run_single_spot
+from repro.core.config import SpotTuneConfig
+from repro.core.orchestrator import SpotTuneOrchestrator
+from repro.core.perf_matrix import PerformanceMatrix
+from repro.core.provisioner import ProvisionDecision, Provisioner
+
+__all__ = [
+    "JobRecord",
+    "RunResult",
+    "SegmentRecord",
+    "run_single_spot",
+    "SpotTuneConfig",
+    "SpotTuneOrchestrator",
+    "PerformanceMatrix",
+    "ProvisionDecision",
+    "Provisioner",
+]

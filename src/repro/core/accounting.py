@@ -1,0 +1,116 @@
+"""Run accounting: costs, JCT, free steps, overheads.
+
+These records feed the paper's evaluation directly: overall cost and
+JCT (Fig. 7), free-vs-charged step contributions and refund shares
+(Fig. 9), and checkpoint-restore overhead percentages (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class SegmentRecord:
+    """One deployment of a job on one VM."""
+
+    vm_id: str
+    instance_name: str
+    start: float
+    end: Optional[float] = None
+    steps: float = 0.0
+    refunded: Optional[bool] = None  # unknown until the VM's bill settles
+
+
+@dataclass
+class JobRecord:
+    """Accounting for one HPT job across its whole life."""
+
+    trial_id: str
+    segments: list[SegmentRecord] = field(default_factory=list)
+    checkpoint_time: float = 0.0
+    restore_time: float = 0.0
+    lost_steps: float = 0.0
+    failed_checkpoints: int = 0
+    finished_at: Optional[float] = None
+    steps_completed: float = 0.0
+    predicted_final: Optional[float] = None
+    true_final: Optional[float] = None
+    finish_mode: str = ""
+
+    @property
+    def free_steps(self) -> float:
+        """Steps run on segments whose instance-hour was refunded."""
+        return sum(segment.steps for segment in self.segments if segment.refunded)
+
+    @property
+    def charged_steps(self) -> float:
+        return sum(segment.steps for segment in self.segments if segment.refunded is False)
+
+    @property
+    def num_deployments(self) -> int:
+        return len(self.segments)
+
+
+@dataclass
+class RunResult:
+    """The outcome of one orchestrated HPT run."""
+
+    workload_name: str
+    theta: float
+    jct: float
+    total_paid: float
+    total_refunded: float
+    checkpoint_time: float
+    restore_time: float
+    jobs: dict[str, JobRecord]
+    predictions: dict[str, float]
+    selected: list[str]
+    continuation_jct: float = 0.0
+    continuation_paid: float = 0.0
+
+    @property
+    def total_gross(self) -> float:
+        """Value of all consumed compute (paid + refunded)."""
+        return self.total_paid + self.total_refunded
+
+    @property
+    def free_steps(self) -> float:
+        return sum(job.free_steps for job in self.jobs.values())
+
+    @property
+    def charged_steps(self) -> float:
+        return sum(job.charged_steps for job in self.jobs.values())
+
+    @property
+    def free_step_fraction(self) -> float:
+        """Fig. 9a: contribution of refunded (free) resources."""
+        total = self.free_steps + self.charged_steps
+        return self.free_steps / total if total else 0.0
+
+    @property
+    def refund_fraction(self) -> float:
+        """Fig. 9b: refunded value relative to all consumed value."""
+        return self.total_refunded / self.total_gross if self.total_gross else 0.0
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fig. 12: checkpoint-restore share of the run's wall time."""
+        busy = self.checkpoint_time + self.restore_time
+        return busy / self.jct if self.jct else 0.0
+
+    def performance_cost_rate(self, alpha: float = 1.0) -> float:
+        """PCR = alpha / (JCT * cost), Fig. 7c's measure."""
+        if self.jct <= 0 or self.total_paid <= 0:
+            return float("inf")
+        return alpha / (self.jct / 3600.0 * self.total_paid)
+
+    def top_k_hit(self, true_finals: dict[str, float], k: int | None = None) -> bool:
+        """Whether the truly best configuration appears in the selected
+        top-k (the paper's top-3 accuracy with k=3, top-1 with k=1)."""
+        if not true_finals:
+            raise ValueError("no ground-truth finals supplied")
+        k = len(self.selected) if k is None else k
+        true_best = min(true_finals, key=true_finals.get)
+        return true_best in self.selected[:k]

@@ -1,0 +1,101 @@
+"""Single-Spot Tune baselines (paper §IV-A4).
+
+The paper's comparison points run HPT on a single *type* of spot
+instance — Single-Spot Tune (Cheapest) on r4.large and Single-Spot
+Tune (Fastest) on m4.4xlarge — with "the maximum price of each used
+single-spot instance ... much higher than its market price such that
+it would not be revoked".  Each configuration trains on its own
+never-revoked VM to full max_trial_steps (no early shutdown — "the two
+baselines could be considered as theta = 1.0" per §IV-B1).  JCT is the
+longest trial's duration; cost is the sum of every VM's market-price
+integral.  This is the reading consistent with the paper's reported
+relationships: SpotTune's JCT lands *between* the two baselines
+"because it uses a mixture of all the instances", and the fastest
+baseline costs ~4x the cheapest.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.instance import InstanceType, get_instance_type
+from repro.core.accounting import JobRecord, RunResult, SegmentRecord
+from repro.market.dataset import SpotPriceDataset
+from repro.market.trace import HOUR
+from repro.workloads.speed import SpeedModel
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.trial import Trial
+
+#: The two representative baseline instances (paper §IV-A4).
+CHEAPEST_INSTANCE = "r4.large"
+FASTEST_INSTANCE = "m4.4xlarge"
+
+
+def run_single_spot(
+    workload: WorkloadSpec,
+    trials: list[Trial],
+    dataset: SpotPriceDataset,
+    instance: InstanceType | str,
+    speed_model: SpeedModel | None = None,
+    start_time: float = 0.0,
+    mcnt: int = 3,
+) -> RunResult:
+    """Simulate the single-spot baseline on ``instance``.
+
+    Every trial runs to its full max_trial_steps; selection is by the
+    observed final metrics (training completed, so no prediction).
+    """
+    if not trials:
+        raise ValueError("no trials to run")
+    if isinstance(instance, str):
+        instance = get_instance_type(instance)
+    speed_model = speed_model if speed_model is not None else SpeedModel()
+    trace = dataset[instance.name]
+
+    jobs: dict[str, JobRecord] = {}
+    finals: dict[str, float] = {}
+    longest = 0.0
+    cost = 0.0
+    for index, trial in enumerate(trials):
+        seconds_per_step = speed_model.seconds_per_step(
+            instance, workload, trial.config
+        )
+        duration = trial.max_trial_steps * seconds_per_step
+        longest = max(longest, duration)
+        cost += trace.mean_price_in(start_time, start_time + duration) * duration / HOUR
+        final_metric = trial.metric_at(trial.max_trial_steps)
+        finals[trial.trial_id] = final_metric
+        record = JobRecord(
+            trial_id=trial.trial_id,
+            segments=[
+                SegmentRecord(
+                    vm_id=f"baseline-{instance.name}-{index}",
+                    instance_name=instance.name,
+                    start=start_time,
+                    end=start_time + duration,
+                    steps=float(trial.max_trial_steps),
+                    refunded=False,
+                )
+            ],
+            finished_at=start_time + duration,
+            steps_completed=float(trial.max_trial_steps),
+            predicted_final=final_metric,
+            finish_mode="full_training",
+        )
+        try:
+            record.true_final = trial.true_final()
+        except AttributeError:
+            record.true_final = None
+        jobs[trial.trial_id] = record
+
+    selected = sorted(finals, key=finals.get)[:mcnt]
+    return RunResult(
+        workload_name=workload.name,
+        theta=1.0,
+        jct=longest,
+        total_paid=cost,
+        total_refunded=0.0,
+        checkpoint_time=0.0,
+        restore_time=0.0,
+        jobs=jobs,
+        predictions=finals,
+        selected=selected,
+    )

@@ -1,0 +1,74 @@
+"""SpotTune run configuration.
+
+Bundles the four user-specified parameters of paper Table I (metric,
+max_trial_steps, theta, mcnt — the first two live on the workload
+spec) with the system constants of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instance import DEFAULT_INSTANCE_POOL, InstanceType
+
+#: Algorithm 1's max-price delta interval (line 4).
+DELTA_LOW = 0.00001
+DELTA_HIGH = 0.2
+
+
+@dataclass(frozen=True)
+class SpotTuneConfig:
+    """Knobs of one SpotTune run.
+
+    Attributes:
+        theta: Early-shutdown rate — predict the final metric after
+            theta * max_trial_steps (Table I; 0.7 is the paper's
+            minimum reliable value, 1.0 disables EarlyCurve).
+        mcnt: Number of models to select from all the HPs (Table I).
+        poll_interval: Orchestrator loop sleep (Algorithm 1 line 45).
+        reschedule_after: Forced VM recycle age; one instance hour, the
+            refund boundary (Algorithm 1 line 31).
+        delta_low / delta_high: Uniform max-price delta interval over
+            the current market price (Algorithm 1 line 4).
+        initial_m_per_cpu: C0 — the performance matrix M is initialised
+            to C0 * instance.CPUs seconds/step (Algorithm 1 line 12).
+        instance_pool: Candidate spot markets (Table III by default).
+        lower_is_better: Metric direction; every Table II metric is a
+            loss, so lower wins.
+        seed: Root seed for the run's stochastic draws (max-price
+            deltas, segment speed noise).
+    """
+
+    theta: float = 0.7
+    mcnt: int = 3
+    poll_interval: float = 10.0
+    reschedule_after: float = 3600.0
+    delta_low: float = DELTA_LOW
+    delta_high: float = DELTA_HIGH
+    initial_m_per_cpu: float = 5.0
+    instance_pool: tuple[InstanceType, ...] = DEFAULT_INSTANCE_POOL
+    lower_is_better: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.theta <= 1.0:
+            raise ValueError(f"theta must be in (0, 1]: {self.theta}")
+        if self.mcnt <= 0:
+            raise ValueError(f"mcnt must be positive: {self.mcnt}")
+        if self.poll_interval <= 0:
+            raise ValueError(f"poll interval must be positive: {self.poll_interval}")
+        if self.reschedule_after <= 0:
+            raise ValueError(f"reschedule_after must be positive: {self.reschedule_after}")
+        if not 0 < self.delta_low <= self.delta_high:
+            raise ValueError(
+                f"delta interval invalid: [{self.delta_low}, {self.delta_high}]"
+            )
+        if self.initial_m_per_cpu <= 0:
+            raise ValueError(f"C0 must be positive: {self.initial_m_per_cpu}")
+        if not self.instance_pool:
+            raise ValueError("instance pool is empty")
+
+    @property
+    def early_shutdown_enabled(self) -> bool:
+        """EarlyCurve is disabled at theta = 1.0 (paper §IV-B1)."""
+        return self.theta < 1.0

@@ -1,0 +1,140 @@
+"""Additional convergence-curve families (paper §V-B).
+
+EarlyCurve's Equation 4 family models the O(1/k)..O(1/k^2) *sublinear*
+convergence of gradient methods.  The paper's discussion notes that
+linearly/superlinearly converging optimisers (e.g. L-BFGS) follow
+O(mu^k) curves instead and "a different curve-fitting model should be
+applied, which we will investigate in future work".  This module
+implements that future work:
+
+* :class:`GeometricCurveModel` — fits L(k) = a * mu^k + c, the
+  linear-convergence family (with per-stage fits, so periodic LR decay
+  is still handled);
+* :class:`AdaptiveCurveModel` — fits both families and keeps whichever
+  explains the observed prefix better, so the user does not need to
+  know the optimiser's convergence class up front.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.earlycurve.model import CurveFit, StagedCurveModel
+from repro.earlycurve.stages import DEFAULT_EPS, DEFAULT_XI, Stage, detect_stages
+
+
+def _geometric_curve(params: np.ndarray, k: np.ndarray) -> np.ndarray:
+    amplitude, rate, floor = params
+    return amplitude * np.power(rate, k) + floor
+
+
+def fit_geometric_stage(k: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Fit one stage of L(k) = a * mu^k + c with a >= 0, 0 < mu < 1,
+    c >= 0.  Short stages fall back to a constant fit."""
+    k = np.asarray(k, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if len(k) != len(values):
+        raise ValueError(f"length mismatch: {len(k)} vs {len(values)}")
+    if len(k) < 4:
+        return np.array([0.0, 0.5, float(np.mean(values))])
+
+    floor_guess = max(float(np.min(values)) * 0.95, 0.0)
+    amplitude_guess = max(float(values[0]) - floor_guess, 1e-6)
+    x0 = np.array([amplitude_guess, 0.98, floor_guess])
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        return _geometric_curve(params, k) - values
+
+    result = least_squares(
+        residuals,
+        x0,
+        bounds=(np.array([0.0, 1e-6, 0.0]), np.array([np.inf, 1.0 - 1e-9, np.inf])),
+        method="trf",
+        max_nfev=200,
+    )
+    return result.x
+
+
+class GeometricFit:
+    """Piecewise geometric fit mirroring :class:`CurveFit`'s API."""
+
+    def __init__(self, stages: list[Stage], params: list[np.ndarray]) -> None:
+        if len(stages) != len(params) or not stages:
+            raise ValueError("stages and params must align and be non-empty")
+        self.stages = stages
+        self.params = params
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def predict(self, steps: np.ndarray | float) -> np.ndarray | float:
+        scalar = np.isscalar(steps)
+        steps = np.atleast_1d(np.asarray(steps, dtype=float))
+        if np.any(steps < 0):
+            raise ValueError("steps must be non-negative")
+        output = np.empty_like(steps)
+        for index, step in enumerate(steps):
+            stage, params = self._stage_for(step)
+            k_local = step - stage.left + 1.0
+            output[index] = _geometric_curve(params, np.array([k_local]))[0]
+        return float(output[0]) if scalar else output
+
+    def _stage_for(self, step: float) -> tuple[Stage, np.ndarray]:
+        for stage, params in zip(self.stages, self.params):
+            if step < stage.right:
+                return stage, params
+        return self.stages[-1], self.params[-1]
+
+    def rmse(self, steps: np.ndarray, values: np.ndarray) -> float:
+        predictions = self.predict(np.asarray(steps, dtype=float))
+        return float(np.sqrt(np.mean((predictions - np.asarray(values)) ** 2)))
+
+
+class GeometricCurveModel:
+    """Linear-convergence (O(mu^k)) fitter with stage detection."""
+
+    def __init__(self, xi: float = DEFAULT_XI, eps: float = DEFAULT_EPS) -> None:
+        self.xi = xi
+        self.eps = eps
+
+    def fit(self, values: np.ndarray) -> GeometricFit:
+        values = np.asarray(values, dtype=float)
+        stages = detect_stages(values, xi=self.xi, eps=self.eps)
+        params = []
+        for stage in stages:
+            segment = values[stage.left : stage.right]
+            k_local = np.arange(1, stage.length + 1, dtype=float)
+            params.append(fit_geometric_stage(k_local, segment))
+        return GeometricFit(stages=stages, params=params)
+
+    def fit_predict(self, values: np.ndarray, target_step: float) -> float:
+        return float(self.fit(values).predict(target_step))
+
+
+class AdaptiveCurveModel:
+    """Fits both the sublinear (Equation 4) and geometric families and
+    predicts with whichever has the lower training RMSE."""
+
+    def __init__(self) -> None:
+        self.sublinear = StagedCurveModel()
+        self.geometric = GeometricCurveModel()
+
+    def fit(self, values: np.ndarray) -> CurveFit | GeometricFit:
+        values = np.asarray(values, dtype=float)
+        steps = np.arange(len(values), dtype=float)
+        sublinear_fit = self.sublinear.fit(values)
+        geometric_fit = self.geometric.fit(values)
+        if geometric_fit.rmse(steps, values) < sublinear_fit.rmse(steps, values):
+            return geometric_fit
+        return sublinear_fit
+
+    def fit_predict(self, values: np.ndarray, target_step: float) -> float:
+        return float(self.fit(values).predict(target_step))
+
+    def selected_family(self, values: np.ndarray) -> str:
+        """Which family the adaptive model would use ("sublinear" or
+        "geometric") for the given observations."""
+        fit = self.fit(values)
+        return "geometric" if isinstance(fit, GeometricFit) else "sublinear"

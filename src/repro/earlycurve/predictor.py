@@ -1,0 +1,139 @@
+"""Online EarlyCurve predictor and configuration ranking.
+
+The Orchestrator streams (step, metric) points into one
+:class:`EarlyCurvePredictor` per HPT job.  The predictor:
+
+* detects plateau convergence before theta * max_trial_steps ("the
+  metric curve becomes a plateau, where training is no longer
+  meaningful" — §III-C) so converged jobs finish immediately;
+* once theta * max_trial_steps points are in, fits the staged model
+  and extrapolates the final metric;
+* exposes :func:`rank_configurations` for the final top-mcnt selection
+  (Algorithm 1, lines 48-53).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.earlycurve.model import CurveFit, StagedCurveModel
+
+#: Plateau detection: this many trailing points, each changing by less
+#: than the tolerance, mark convergence.
+PLATEAU_WINDOW = 20
+PLATEAU_TOLERANCE = 1e-3
+
+
+class StopReason(enum.Enum):
+    THETA_REACHED = "theta_reached"
+    CONVERGED = "converged"
+
+
+@dataclass(frozen=True)
+class PredictionOutcome:
+    """A final-metric prediction and how it was produced."""
+
+    predicted_final: float
+    mode: str  # "extrapolated", "converged", or "observed"
+    observed_steps: int
+    fit: Optional[CurveFit] = None
+
+
+@dataclass
+class EarlyCurvePredictor:
+    """Per-job online metric collector and trend predictor."""
+
+    max_trial_steps: int
+    theta: float
+    model: StagedCurveModel = field(default_factory=StagedCurveModel)
+    plateau_window: int = PLATEAU_WINDOW
+    plateau_tolerance: float = PLATEAU_TOLERANCE
+    steps: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.max_trial_steps <= 0:
+            raise ValueError(f"max_trial_steps must be positive: {self.max_trial_steps}")
+        if not 0.0 < self.theta <= 1.0:
+            raise ValueError(f"theta must be in (0, 1]: {self.theta}")
+
+    @property
+    def cutoff_step(self) -> int:
+        """theta * max_trial_steps, the early-shutdown point."""
+        return int(round(self.theta * self.max_trial_steps))
+
+    def observe(self, step: int, value: float) -> None:
+        """Record a metric point; steps must arrive in order."""
+        if self.steps and step <= self.steps[-1]:
+            raise ValueError(
+                f"metric steps must be increasing: {step} after {self.steps[-1]}"
+            )
+        if not np.isfinite(value):
+            raise ValueError(f"metric value must be finite: {value}")
+        self.steps.append(int(step))
+        self.values.append(float(value))
+
+    @property
+    def observed_steps(self) -> int:
+        return self.steps[-1] if self.steps else 0
+
+    def has_converged(self) -> bool:
+        """Plateau test over the trailing window."""
+        if len(self.values) < self.plateau_window + 1:
+            return False
+        tail = np.asarray(self.values[-(self.plateau_window + 1) :])
+        denominators = np.maximum(np.abs(tail[:-1]), 1e-12)
+        rates = np.abs(np.diff(tail)) / denominators
+        return bool(np.all(rates < self.plateau_tolerance))
+
+    def should_stop(self) -> Optional[StopReason]:
+        """Whether the job can stop now, and why."""
+        if self.observed_steps >= self.cutoff_step:
+            return StopReason.THETA_REACHED
+        if self.has_converged():
+            return StopReason.CONVERGED
+        return None
+
+    def predict_final(self) -> PredictionOutcome:
+        """Predict the metric at max_trial_steps from observed points."""
+        if not self.values:
+            raise ValueError("no metric points observed yet")
+        if self.observed_steps >= self.max_trial_steps:
+            return PredictionOutcome(
+                predicted_final=self.values[-1],
+                mode="observed",
+                observed_steps=self.observed_steps,
+            )
+        if self.has_converged():
+            tail = self.values[-self.plateau_window :]
+            return PredictionOutcome(
+                predicted_final=float(np.mean(tail)),
+                mode="converged",
+                observed_steps=self.observed_steps,
+            )
+        fit = self.model.fit(np.asarray(self.values))
+        # Observed points sit at indices 0..n-1 of the recorded series;
+        # translate the target step into the same index space.
+        points_per_step = len(self.values) / max(self.observed_steps, 1)
+        target_index = self.max_trial_steps * points_per_step - 1.0
+        return PredictionOutcome(
+            predicted_final=float(fit.predict(target_index)),
+            mode="extrapolated",
+            observed_steps=self.observed_steps,
+            fit=fit,
+        )
+
+
+def rank_configurations(
+    predictions: dict[str, float], mcnt: int, lower_is_better: bool = True
+) -> list[str]:
+    """Sort configuration ids by predicted final metric and return the
+    top ``mcnt`` (Algorithm 1's final SORT + top-mcnt selection)."""
+    if mcnt <= 0:
+        raise ValueError(f"mcnt must be positive: {mcnt}")
+    ordered = sorted(predictions, key=predictions.get, reverse=not lower_is_better)
+    return ordered[:mcnt]

@@ -1,0 +1,31 @@
+"""SLAQ-style one-stage curve fitting (baseline for Fig. 11).
+
+SLAQ (Zhang et al., SoCC'17) fits the whole training curve with a
+single function and therefore cannot follow the sharp drops periodic
+learning-rate decay produces.  The paper's comparison pits EarlyCurve
+against exactly this: "the baseline uses one-stage curve fitting"
+(§IV-E) — the same inverse-quadratic family with ST = 1.  On curves
+without stage structure the two coincide, as the paper notes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.earlycurve.model import CurveFit, fit_single_stage
+from repro.earlycurve.stages import Stage
+
+
+class SlaqCurveModel:
+    """Single-stage fit of the Equation 4 family."""
+
+    def fit(self, values: np.ndarray) -> CurveFit:
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 1 or len(values) == 0:
+            raise ValueError("metric series must be a non-empty 1-D array")
+        stage = Stage(0, len(values))
+        k = np.arange(1, len(values) + 1, dtype=float)
+        return CurveFit(stages=[stage], params=[fit_single_stage(k, values)])
+
+    def fit_predict(self, values: np.ndarray, target_step: float) -> float:
+        return float(self.fit(values).predict(target_step))

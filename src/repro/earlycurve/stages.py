@@ -1,0 +1,77 @@
+"""Stage-boundary detection (paper Equation 7).
+
+A training curve moves to a new stage at step i when its relative
+changing rate suddenly exceeds xi (0.5) right after a steady period —
+each of the previous five steps changed by less than epsilon (0.01).
+This is the heuristic that lets EarlyCurve follow validation curves of
+models with periodic learning-rate decay (paper Fig. 5b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Paper defaults for Equation 7.
+DEFAULT_XI = 0.5
+DEFAULT_EPS = 0.01
+STEADY_WINDOW = 5
+
+
+@dataclass(frozen=True)
+class Stage:
+    """Half-open index interval [left, right) of one curve stage."""
+
+    left: int
+    right: int
+
+    def __post_init__(self) -> None:
+        if self.left < 0 or self.right <= self.left:
+            raise ValueError(f"invalid stage bounds: [{self.left}, {self.right})")
+
+    @property
+    def length(self) -> int:
+        return self.right - self.left
+
+    def contains(self, index: int) -> bool:
+        return self.left <= index < self.right
+
+
+def changing_rates(values: np.ndarray) -> np.ndarray:
+    """zeta_i = |L_i - L_{i-1}| / L_{i-1}; zeta_0 is defined as 0."""
+    values = np.asarray(values, dtype=float)
+    rates = np.zeros(len(values))
+    if len(values) > 1:
+        denominators = np.maximum(np.abs(values[:-1]), 1e-12)
+        rates[1:] = np.abs(np.diff(values)) / denominators
+    return rates
+
+
+def detect_stages(
+    values: np.ndarray,
+    xi: float = DEFAULT_XI,
+    eps: float = DEFAULT_EPS,
+) -> list[Stage]:
+    """Split a metric series into stages per Equation 7.
+
+    Returns a partition of [0, len(values)): consecutive stages whose
+    union covers every index exactly once (the paper's conditions on
+    the intervals [l_i, r_i)).
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError(f"metric series must be one-dimensional, got {values.shape}")
+    if len(values) == 0:
+        raise ValueError("metric series is empty")
+    if xi <= 0 or eps <= 0:
+        raise ValueError(f"thresholds must be positive: xi={xi}, eps={eps}")
+    rates = changing_rates(values)
+    boundaries = [0]
+    for i in range(STEADY_WINDOW + 1, len(values)):
+        window = rates[i - STEADY_WINDOW : i]
+        if rates[i] > xi and np.all(window < eps):
+            if i > boundaries[-1]:  # stages must be non-empty
+                boundaries.append(i)
+    boundaries.append(len(values))
+    return [Stage(lo, hi) for lo, hi in zip(boundaries[:-1], boundaries[1:])]

@@ -1,0 +1,43 @@
+"""Spot-market price data: traces, synthetic generation, features, labels.
+
+The paper trains RevPred on the public Kaggle ``AWS Spot Pricing Market``
+dataset (us-east-1, 2017-04-26 .. 2017-05-08).  That dataset is not
+available offline, so this package provides a calibrated synthetic
+generator producing traces with the same structure — sparse records,
+stable and volatile markets, spikes above the on-demand price, diurnal
+and workday signal — plus the exact preprocessing the paper describes:
+interpolation to a 1-minute grid, the six engineered features, and the
+Algorithm 2 trimmed-fluctuation max-price labeling.
+"""
+
+from repro.market.dataset import SpotPriceDataset, generate_default_dataset
+from repro.market.features import (
+    HISTORY_MINUTES,
+    NUM_BASE_FEATURES,
+    FeatureExtractor,
+    PresentRecord,
+)
+from repro.market.labeling import (
+    LabeledSample,
+    build_training_set,
+    fluctuation_delta,
+    will_be_revoked,
+)
+from repro.market.synthetic import MarketModelParams, SyntheticMarketGenerator
+from repro.market.trace import PriceTrace
+
+__all__ = [
+    "SpotPriceDataset",
+    "generate_default_dataset",
+    "HISTORY_MINUTES",
+    "NUM_BASE_FEATURES",
+    "FeatureExtractor",
+    "PresentRecord",
+    "LabeledSample",
+    "build_training_set",
+    "fluctuation_delta",
+    "will_be_revoked",
+    "MarketModelParams",
+    "SyntheticMarketGenerator",
+    "PriceTrace",
+]

@@ -1,0 +1,129 @@
+"""Spot-price dataset: a collection of per-market traces with CSV I/O.
+
+Mirrors the shape of the Kaggle ``AWS Spot Pricing Market`` dataset the
+paper uses: one row per (timestamp, instance type, region, price) sparse
+record.  ``generate_default_dataset`` produces the synthetic stand-in —
+twelve days (2017-04-26 .. 2017-05-08 in simulated calendar) across the
+Table III instance pool, matching the paper's experimental window.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.cloud.instance import DEFAULT_INSTANCE_POOL, InstanceType
+from repro.market.synthetic import SyntheticMarketGenerator
+from repro.market.trace import PriceTrace
+
+CSV_HEADER = ("timestamp", "instance_type", "region", "price")
+
+
+@dataclass
+class SpotPriceDataset:
+    """A set of price traces keyed by instance-type name."""
+
+    traces: dict[str, PriceTrace] = field(default_factory=dict)
+
+    def add(self, trace: PriceTrace) -> None:
+        if trace.instance_type in self.traces:
+            raise ValueError(f"duplicate trace for {trace.instance_type!r}")
+        self.traces[trace.instance_type] = trace
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.traces
+
+    def __getitem__(self, name: str) -> PriceTrace:
+        try:
+            return self.traces[name]
+        except KeyError:
+            known = ", ".join(sorted(self.traces))
+            raise KeyError(f"no trace for {name!r}; dataset has: {known}") from None
+
+    def __iter__(self) -> Iterator[PriceTrace]:
+        return iter(self.traces.values())
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    @property
+    def instance_types(self) -> list[str]:
+        return sorted(self.traces)
+
+    @property
+    def start(self) -> float:
+        """Latest start across traces (all markets usable from here)."""
+        return max(trace.start for trace in self)
+
+    @property
+    def end(self) -> float:
+        """Earliest end across traces (all markets usable until here)."""
+        return min(trace.end for trace in self)
+
+    def split(self, t: float) -> tuple["SpotPriceDataset", "SpotPriceDataset"]:
+        """Split every trace at time ``t`` into (before, from-t-on)
+        datasets — the paper trains RevPred on 04/26-05/04 and
+        evaluates on 05/05-05/07."""
+        if not (self.start < t < self.end):
+            raise ValueError(f"split point {t} outside common span [{self.start}, {self.end}]")
+        train = SpotPriceDataset()
+        test = SpotPriceDataset()
+        for trace in self:
+            train.add(trace.window(trace.start, t))
+            test.add(trace.window(t, trace.end))
+        return train, test
+
+    # ------------------------------------------------------------------
+    # CSV round-trip (Kaggle dataset schema)
+    # ------------------------------------------------------------------
+    def save_csv(self, path: str | Path) -> None:
+        """Write all traces as sparse records, sorted by market then time."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(CSV_HEADER)
+            for name in self.instance_types:
+                trace = self.traces[name]
+                for t, price in zip(trace.times, trace.prices):
+                    writer.writerow([f"{t:.3f}", name, trace.region, f"{price:.4f}"])
+
+    @classmethod
+    def load_csv(cls, path: str | Path) -> "SpotPriceDataset":
+        """Read a dataset written by :meth:`save_csv`."""
+        path = Path(path)
+        rows_by_market: dict[str, list[tuple[float, float, str]]] = {}
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = tuple(next(reader))
+            if header != CSV_HEADER:
+                raise ValueError(f"unexpected CSV header {header!r}; want {CSV_HEADER!r}")
+            for row in reader:
+                timestamp, name, region, price = row
+                rows_by_market.setdefault(name, []).append(
+                    (float(timestamp), float(price), region)
+                )
+        dataset = cls()
+        for name, rows in rows_by_market.items():
+            rows.sort(key=lambda record: record[0])
+            times = np.array([record[0] for record in rows])
+            prices = np.array([record[1] for record in rows])
+            dataset.add(PriceTrace(name, times, prices, region=rows[0][2]))
+        return dataset
+
+
+def generate_default_dataset(
+    seed: int = 0,
+    days: float = 12.0,
+    instances: Iterable[InstanceType] = DEFAULT_INSTANCE_POOL,
+) -> SpotPriceDataset:
+    """The default synthetic dataset: twelve days across the Table III
+    pool, one independent market per instance type."""
+    generator = SyntheticMarketGenerator(seed)
+    dataset = SpotPriceDataset()
+    for instance in instances:
+        dataset.add(generator.generate(instance, days=days))
+    return dataset

@@ -1,0 +1,172 @@
+"""Training-set construction for revocation predictors.
+
+Implements the paper's Algorithm 2: when building RevPred *training*
+data, the candidate maximum price at time ``t`` is the current price
+plus the trimmed-mean absolute fluctuation of the previous hour
+(dropping the smallest 20% and largest 20% of one-minute deltas).  The
+paper motivates this with active learning: such prices sit near the
+revoked/not-revoked decision border, the most informative region.
+
+Tributary's scheme — the baseline — draws the delta uniformly from
+[0.00001, 0.2] instead.  At *inference* time both schemes use the
+uniform draw (paper §III-B).
+
+A sample at time ``t`` with maximum price ``b`` is labeled True when
+the market price exceeds ``b`` at any point in the following hour,
+i.e. the instance would be revoked within its first hour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.market.features import FeatureExtractor
+from repro.market.trace import HOUR, MINUTE, PriceTrace
+from repro.sim.rng import RngStream
+
+#: Tributary's uniform max-price delta interval (paper §III-B).
+UNIFORM_DELTA_LOW = 0.00001
+UNIFORM_DELTA_HIGH = 0.2
+
+DeltaMode = Literal["fluctuation", "uniform"]
+
+
+@dataclass(frozen=True)
+class LabeledSample:
+    """One (features, label) pair for revocation prediction."""
+
+    history: np.ndarray  # (59, 6)
+    present: np.ndarray  # (7,)
+    label: bool
+    time: float
+    max_price: float
+    instance_type: str
+
+
+@dataclass(frozen=True)
+class TrainingSet:
+    """Batched training arrays for a revocation predictor."""
+
+    history: np.ndarray  # (N, 59, 6)
+    present: np.ndarray  # (N, 7)
+    labels: np.ndarray  # (N,), float {0.0, 1.0}
+    times: np.ndarray  # (N,)
+    instance_type: str
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def positive_fraction(self) -> float:
+        """Share of revoked (True) samples, phi+ in the paper."""
+        if len(self.labels) == 0:
+            return 0.0
+        return float(np.mean(self.labels))
+
+
+def fluctuation_delta(trace: PriceTrace, t: float) -> float:
+    """Algorithm 2: trimmed-mean one-minute price fluctuation.
+
+    Collects |price[tau] - price[tau - 1min]| for each minute tau in the
+    hour before ``t``, sorts them, sums the middle 60% (indices between
+    0.2L and 0.8L exclusive) and divides by 0.6L — the paper divides by
+    0.6L regardless of how many indices the strict inequalities admit,
+    and we follow it exactly.
+    """
+    grid = np.arange(t - HOUR, t + MINUTE / 2, MINUTE)
+    if grid[0] - MINUTE < trace.start:
+        raise ValueError(
+            f"fluctuation window at {t} needs one hour plus one minute of history"
+        )
+    prices = trace.price_at_many(grid)
+    previous = trace.price_at_many(grid - MINUTE)
+    deltas = np.sort(np.abs(prices - previous))
+    length = len(deltas)
+    lo = int(0.2 * length)
+    hi = int(np.ceil(0.8 * length))
+    middle = deltas[lo + 1 : hi] if hi - lo > 1 else deltas[lo:hi]
+    return float(np.sum(middle) / (0.6 * length))
+
+
+def will_be_revoked(
+    trace: PriceTrace, t: float, max_price: float, horizon: float = HOUR
+) -> bool:
+    """True when the market price exceeds ``max_price`` within
+    ``horizon`` seconds after ``t`` (the label definition)."""
+    end = min(t + horizon, trace.end)
+    return trace.first_time_above(max_price, t, end) is not None
+
+
+def draw_uniform_delta(rng: RngStream) -> float:
+    """Tributary's max-price delta, uniform on [0.00001, 0.2]."""
+    return float(rng.uniform(UNIFORM_DELTA_LOW, UNIFORM_DELTA_HIGH))
+
+
+def build_training_set(
+    trace: PriceTrace,
+    on_demand_price: float,
+    sample_times: np.ndarray,
+    rng: RngStream,
+    delta_mode: DeltaMode = "fluctuation",
+    horizon: float = HOUR,
+) -> TrainingSet:
+    """Build a labeled training set from a price trace.
+
+    Args:
+        trace: The market's price history.
+        on_demand_price: Normalisation scale for price features.
+        sample_times: Timestamps at which to cut samples.  Each must
+            leave a full feature context before it and ``horizon``
+            seconds of trace after it.
+        rng: Random stream (used by the ``uniform`` delta mode).
+        delta_mode: ``"fluctuation"`` for Algorithm 2 (RevPred
+            training), ``"uniform"`` for Tributary-style training and
+            for inference-time sampling of both models.
+        horizon: Label look-ahead window (one hour in the paper).
+    """
+    extractor = FeatureExtractor(trace, on_demand_price)
+    histories: list[np.ndarray] = []
+    presents: list[np.ndarray] = []
+    labels: list[float] = []
+    kept_times: list[float] = []
+    for t in np.asarray(sample_times, dtype=float):
+        if t < extractor.earliest_sample_time or t + horizon > trace.end:
+            continue
+        if delta_mode == "fluctuation":
+            delta = fluctuation_delta(trace, t)
+        elif delta_mode == "uniform":
+            delta = draw_uniform_delta(rng)
+        else:
+            raise ValueError(f"unknown delta mode: {delta_mode!r}")
+        max_price = trace.price_at(t) + delta
+        history, present = extractor.window_sample(t, max_price)
+        histories.append(history)
+        presents.append(present)
+        labels.append(1.0 if will_be_revoked(trace, t, max_price, horizon) else 0.0)
+        kept_times.append(t)
+    if not labels:
+        raise ValueError(
+            "no usable sample times: each needs feature context before and "
+            f"{horizon}s of trace after it"
+        )
+    return TrainingSet(
+        history=np.stack(histories),
+        present=np.stack(presents),
+        labels=np.asarray(labels),
+        times=np.asarray(kept_times),
+        instance_type=trace.instance_type,
+    )
+
+
+def regular_sample_times(
+    trace: PriceTrace, interval: float = 10 * MINUTE, horizon: float = HOUR
+) -> np.ndarray:
+    """Evenly spaced sample times covering the usable span of a trace."""
+    extractor_start = trace.start + (59 * MINUTE + HOUR)
+    last = trace.end - horizon
+    if last <= extractor_start:
+        raise ValueError("trace too short to cut any samples")
+    return np.arange(extractor_start, last, interval)

@@ -1,0 +1,43 @@
+"""Step-wise numpy ML trainers (the paper's Table II benchmarks).
+
+Each trainer exposes the same contract — ``step()`` advances one
+training step, ``validate()`` evaluates the user-chosen metric, and
+``get_state``/``set_state`` round-trip a checkpoint — which is exactly
+what SpotTune's Orchestrator needs: interruptible training that emits
+a metric curve and survives VM revocation through checkpoints.
+
+The classical algorithms (logistic regression, linear regression, SVM,
+gradient-boosted trees) are genuine implementations on synthetic
+datasets shaped like the paper's (Epsilon, YearPredictionMSD,
+synthetic).  The CNN benchmarks (AlexNet/ResNet on CIFAR10) are
+represented by a configurable MLP classifier with periodic
+learning-rate decay — the property that produces the staged validation
+curves (paper Fig. 5b) EarlyCurve is built for.
+"""
+
+from repro.mlalgos.base import IterativeTrainer, TrainerCheckpoint
+from repro.mlalgos.datasets import (
+    Dataset,
+    make_binary_classification,
+    make_image_classification,
+    make_regression,
+)
+from repro.mlalgos.gbt import GBTRegressionTrainer
+from repro.mlalgos.linear_regression import LinearRegressionTrainer
+from repro.mlalgos.logistic_regression import LogisticRegressionTrainer
+from repro.mlalgos.mlp import MLPClassifierTrainer
+from repro.mlalgos.svm import SVMTrainer
+
+__all__ = [
+    "IterativeTrainer",
+    "TrainerCheckpoint",
+    "Dataset",
+    "make_binary_classification",
+    "make_image_classification",
+    "make_regression",
+    "GBTRegressionTrainer",
+    "LinearRegressionTrainer",
+    "LogisticRegressionTrainer",
+    "MLPClassifierTrainer",
+    "SVMTrainer",
+]

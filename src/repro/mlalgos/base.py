@@ -1,0 +1,144 @@
+"""Common interface for interruptible, checkpointable trainers."""
+
+from __future__ import annotations
+
+import copy
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+@dataclass
+class TrainerCheckpoint:
+    """A resumable training snapshot.
+
+    Attributes:
+        step_count: Steps completed when the snapshot was taken.
+        arrays: Model tensors keyed by name.
+        rng_state: The trainer's generator state, so resumed training
+            replays exactly the batches the uninterrupted run would
+            have drawn (checkpoint/restore must be bit-exact for the
+            orchestrator's redeployments to be free of training drift).
+        extra: Scalar bookkeeping (e.g. boosting-stage residual cache).
+    """
+
+    step_count: int
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    rng_state: dict[str, Any] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def size_mb(self) -> float:
+        """Approximate serialized size, used by the storage simulator."""
+        total_bytes = sum(array.nbytes for array in self.arrays.values())
+        return total_bytes / (1024.0 * 1024.0)
+
+
+class IterativeTrainer(ABC):
+    """Base class: step-wise training with a validation metric.
+
+    Subclasses implement ``_do_step`` (one optimisation step),
+    ``validate`` (the user's quality metric, lower is better for every
+    Table II workload), and the two state hooks.
+    """
+
+    #: Human-readable metric name, e.g. "cross_entropy" or "mse".
+    metric_name: str = "loss"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._step_count = 0
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    @property
+    def step_count(self) -> int:
+        return self._step_count
+
+    def step(self) -> None:
+        """Run one training step."""
+        self._do_step()
+        self._step_count += 1
+
+    @abstractmethod
+    def _do_step(self) -> None:
+        ...
+
+    @abstractmethod
+    def validate(self) -> float:
+        """Evaluate the configured metric on the validation split."""
+        ...
+
+    def run(
+        self, num_steps: int, validate_every: int = 1
+    ) -> tuple[list[int], list[float]]:
+        """Train ``num_steps`` steps, validating periodically.
+
+        Returns (steps, metrics) aligned lists; the metric is always
+        recorded at the final step.
+        """
+        if num_steps <= 0:
+            raise ValueError(f"num_steps must be positive: {num_steps}")
+        if validate_every <= 0:
+            raise ValueError(f"validate_every must be positive: {validate_every}")
+        steps: list[int] = []
+        metrics: list[float] = []
+        for _ in range(num_steps):
+            self.step()
+            if self._step_count % validate_every == 0 or _ == num_steps - 1:
+                if not steps or steps[-1] != self._step_count:
+                    steps.append(self._step_count)
+                    metrics.append(self.validate())
+        return steps, metrics
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def get_state(self) -> TrainerCheckpoint:
+        """Snapshot the full training state."""
+        return TrainerCheckpoint(
+            step_count=self._step_count,
+            arrays={name: array.copy() for name, array in self._state_arrays().items()},
+            rng_state=copy.deepcopy(self._rng.bit_generator.state),
+            extra=copy.deepcopy(self._state_extra()),
+        )
+
+    def set_state(self, checkpoint: TrainerCheckpoint) -> None:
+        """Restore a snapshot taken by :meth:`get_state`."""
+        self._step_count = checkpoint.step_count
+        self._load_arrays({name: array.copy() for name, array in checkpoint.arrays.items()})
+        self._rng.bit_generator.state = copy.deepcopy(checkpoint.rng_state)
+        self._load_extra(copy.deepcopy(checkpoint.extra))
+
+    @abstractmethod
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        ...
+
+    @abstractmethod
+    def _load_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        ...
+
+    def _state_extra(self) -> dict[str, Any]:
+        """Optional non-array state; default none."""
+        return {}
+
+    def _load_extra(self, extra: dict[str, Any]) -> None:
+        """Restore non-array state; default no-op."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _sample_batch(self, n: int, batch_size: int) -> np.ndarray:
+        """Indices of one mini-batch (with replacement beyond n)."""
+        size = min(batch_size, n)
+        return self._rng.choice(n, size=size, replace=False)
+
+    @staticmethod
+    def decayed_lr(base_lr: float, step: int, decay_rate: float, decay_steps: int) -> float:
+        """Staircase learning-rate decay: lr * dr^(step // ds) — the
+        (lr, dr, ds) hyper-parameters of Table II."""
+        if decay_steps <= 0:
+            raise ValueError(f"decay_steps must be positive: {decay_steps}")
+        return base_lr * decay_rate ** (step // decay_steps)

@@ -1,0 +1,60 @@
+"""Linear regression with mini-batch gradient descent (Table II LiR).
+
+Same (bs, lr, dr, ds) hyper-parameter grid as the paper; the metric is
+validation mean squared error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mlalgos.base import IterativeTrainer
+from repro.mlalgos.datasets import Dataset
+
+
+class LinearRegressionTrainer(IterativeTrainer):
+    """Least-squares regression trained by mini-batch SGD."""
+
+    metric_name = "mse"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 128,
+        lr: float = 1e-2,
+        decay_rate: float = 1.0,
+        decay_steps: int = 1000,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if batch_size <= 0:
+            raise ValueError(f"batch size must be positive: {batch_size}")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive: {lr}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.lr = lr
+        self.decay_rate = decay_rate
+        self.decay_steps = decay_steps
+        self.weights = np.zeros(dataset.num_features)
+        self.bias = 0.0
+
+    def _do_step(self) -> None:
+        batch = self._sample_batch(self.dataset.num_train, self.batch_size)
+        x = self.dataset.x_train[batch]
+        y = self.dataset.y_train[batch]
+        error = x @ self.weights + self.bias - y
+        lr = self.decayed_lr(self.lr, self._step_count, self.decay_rate, self.decay_steps)
+        self.weights -= lr * 2.0 * (x.T @ error) / len(batch)
+        self.bias -= lr * 2.0 * float(np.mean(error))
+
+    def validate(self) -> float:
+        predictions = self.dataset.x_val @ self.weights + self.bias
+        return float(np.mean((predictions - self.dataset.y_val) ** 2))
+
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        return {"weights": self.weights, "bias": np.array([self.bias])}
+
+    def _load_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        self.weights = arrays["weights"]
+        self.bias = float(arrays["bias"][0])

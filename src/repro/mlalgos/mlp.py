@@ -1,0 +1,166 @@
+"""MLP classifier with periodic learning-rate decay.
+
+Stand-in for the paper's CNN benchmarks (AlexNet / ResNet on CIFAR10):
+no deep-learning framework or image dataset is available offline, so a
+configurable numpy MLP carries the properties SpotTune actually
+exercises — Adam optimisation (the paper's optimiser for both CNNs)
+and *periodic learning-rate decay* (the ``de`` decay-epochs
+hyper-parameter), which produces the staged validation curves of
+Fig. 5b that distinguish EarlyCurve from one-stage fitting.
+
+The ResNet ``version`` hyper-parameter maps to residual blocks
+(version 2) vs a plain layer chain (version 1); ``depth`` maps to the
+number of hidden blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mlalgos.base import IterativeTrainer
+from repro.mlalgos.datasets import Dataset
+from repro.nn.activations import ReLU
+from repro.nn.linear import Linear
+from repro.nn.optim import Adam
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    probabilities = softmax(logits)
+    picked = probabilities[np.arange(len(labels)), labels.astype(int)]
+    return float(np.mean(-np.log(np.maximum(picked, 1e-12))))
+
+
+class _Block:
+    """One hidden block: Linear -> ReLU, optionally with a residual
+    skip (out = relu(linear(x)) + x, requires matching widths)."""
+
+    def __init__(self, width: int, residual: bool, rng: np.random.Generator) -> None:
+        self.linear = Linear(width, width, rng=rng)
+        self.relu = ReLU()
+        self.residual = residual
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.relu.forward(self.linear.forward(x))
+        return out + x if self.residual else out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad_main = self.linear.backward(self.relu.backward(grad))
+        return grad_main + grad if self.residual else grad_main
+
+    def parameters(self):
+        yield from self.linear.parameters()
+
+
+class MLPClassifierTrainer(IterativeTrainer):
+    """Multi-class MLP trained with Adam and staircase LR decay."""
+
+    metric_name = "cross_entropy"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        hidden_units: int = 48,
+        num_blocks: int = 2,
+        residual: bool = False,
+        decay_every: int = 200,
+        decay_factor: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if batch_size <= 0:
+            raise ValueError(f"batch size must be positive: {batch_size}")
+        if num_blocks <= 0:
+            raise ValueError(f"num_blocks must be positive: {num_blocks}")
+        if decay_every <= 0:
+            raise ValueError(f"decay_every must be positive: {decay_every}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.base_lr = lr
+        self.decay_every = decay_every
+        self.decay_factor = decay_factor
+        self.num_classes = int(np.max(dataset.y_train)) + 1
+
+        init_rng = np.random.default_rng(seed + 1)
+        self.input_layer = Linear(dataset.num_features, hidden_units, rng=init_rng)
+        self.input_relu = ReLU()
+        self.blocks = [_Block(hidden_units, residual, init_rng) for _ in range(num_blocks)]
+        self.output_layer = Linear(hidden_units, self.num_classes, rng=init_rng)
+        self.optimizer = Adam(self._all_parameters(), lr=lr)
+
+    def _all_parameters(self):
+        parameters = list(self.input_layer.parameters())
+        for block in self.blocks:
+            parameters.extend(block.parameters())
+        parameters.extend(self.output_layer.parameters())
+        return parameters
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.input_relu.forward(self.input_layer.forward(x))
+        for block in self.blocks:
+            h = block.forward(h)
+        return self.output_layer.forward(h)
+
+    def _backward(self, grad_logits: np.ndarray) -> None:
+        grad = self.output_layer.backward(grad_logits)
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        self.input_layer.backward(self.input_relu.backward(grad))
+
+    def current_lr(self) -> float:
+        """Staircase decay: lr * factor^(step // decay_every)."""
+        return self.base_lr * self.decay_factor ** (self._step_count // self.decay_every)
+
+    def _do_step(self) -> None:
+        batch = self._sample_batch(self.dataset.num_train, self.batch_size)
+        x = self.dataset.x_train[batch]
+        labels = self.dataset.y_train[batch].astype(int)
+        logits = self._forward(x)
+        probabilities = softmax(logits)
+        one_hot = np.zeros_like(probabilities)
+        one_hot[np.arange(len(labels)), labels] = 1.0
+        grad_logits = (probabilities - one_hot) / len(labels)
+        self.optimizer.zero_grad()
+        self._backward(grad_logits)
+        self.optimizer.lr = self.current_lr()
+        self.optimizer.step()
+
+    def validate(self) -> float:
+        logits = self._forward(self.dataset.x_val)
+        return cross_entropy(logits, self.dataset.y_val)
+
+    def validation_accuracy(self) -> float:
+        logits = self._forward(self.dataset.x_val)
+        predictions = np.argmax(logits, axis=1)
+        return float(np.mean(predictions == self.dataset.y_val.astype(int)))
+
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        # Adam's moment estimates are part of the training state: a
+        # checkpoint that drops them would not resume bit-exactly.
+        arrays = {
+            f"param{i}": parameter.value for i, parameter in enumerate(self._all_parameters())
+        }
+        for i, (m, v) in enumerate(zip(self.optimizer._m, self.optimizer._v)):
+            arrays[f"adam_m{i}"] = m
+            arrays[f"adam_v{i}"] = v
+        return arrays
+
+    def _load_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        for i, parameter in enumerate(self._all_parameters()):
+            parameter.value[...] = arrays[f"param{i}"]
+        for i in range(len(self.optimizer._m)):
+            self.optimizer._m[i][...] = arrays[f"adam_m{i}"]
+            self.optimizer._v[i][...] = arrays[f"adam_v{i}"]
+
+    def _state_extra(self) -> dict:
+        return {"adam_steps": self.optimizer._step_count}
+
+    def _load_extra(self, extra: dict) -> None:
+        self.optimizer._step_count = extra["adam_steps"]

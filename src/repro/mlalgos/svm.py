@@ -1,0 +1,107 @@
+"""Support vector machine with linear or RBF kernel (Table II SVM).
+
+Trained by mini-batch subgradient descent on the L2-regularised hinge
+loss.  The paper's ``kernel`` hyper-parameter selects Linear or RBF;
+the RBF kernel is approximated with random Fourier features (Rahimi &
+Recht), which keeps training strictly iterative — a requirement for
+SpotTune's step-wise interruption model.  The metric is validation
+hinge loss.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.mlalgos.base import IterativeTrainer
+from repro.mlalgos.datasets import Dataset
+
+Kernel = Literal["linear", "rbf"]
+
+
+class SVMTrainer(IterativeTrainer):
+    """Hinge-loss classifier with optional random-Fourier RBF lift."""
+
+    metric_name = "hinge_loss"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 128,
+        lr: float = 1e-2,
+        decay_rate: float = 1.0,
+        decay_steps: int = 1000,
+        kernel: Kernel = "linear",
+        rff_features: int = 200,
+        rff_gamma: float = 0.5,
+        regularization: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if batch_size <= 0:
+            raise ValueError(f"batch size must be positive: {batch_size}")
+        if kernel not in ("linear", "rbf"):
+            raise ValueError(f"unknown kernel {kernel!r}; use 'linear' or 'rbf'")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.lr = lr
+        self.decay_rate = decay_rate
+        self.decay_steps = decay_steps
+        self.kernel = kernel
+        self.regularization = regularization
+
+        if kernel == "rbf":
+            # The random projection is part of the model definition, so
+            # it is drawn from a dedicated generator at fixed seed and
+            # carried in checkpoints.
+            projection_rng = np.random.default_rng(seed + 1)
+            self._rff_w = projection_rng.normal(
+                0.0, np.sqrt(2.0 * rff_gamma), (dataset.num_features, rff_features)
+            )
+            self._rff_b = projection_rng.uniform(0.0, 2.0 * np.pi, rff_features)
+            feature_dim = rff_features
+        else:
+            self._rff_w = None
+            self._rff_b = None
+            feature_dim = dataset.num_features
+
+        self.weights = np.zeros(feature_dim)
+        self.bias = 0.0
+        # Labels in {0,1} map to {-1,+1} for the hinge loss.
+        self._y_train = 2.0 * dataset.y_train - 1.0
+        self._y_val = 2.0 * dataset.y_val - 1.0
+
+    def _lift(self, x: np.ndarray) -> np.ndarray:
+        if self.kernel == "linear":
+            return x
+        scale = np.sqrt(2.0 / self._rff_w.shape[1])
+        return scale * np.cos(x @ self._rff_w + self._rff_b)
+
+    def _do_step(self) -> None:
+        batch = self._sample_batch(self.dataset.num_train, self.batch_size)
+        z = self._lift(self.dataset.x_train[batch])
+        y = self._y_train[batch]
+        margins = y * (z @ self.weights + self.bias)
+        active = margins < 1.0
+        lr = self.decayed_lr(self.lr, self._step_count, self.decay_rate, self.decay_steps)
+        grad_w = self.regularization * self.weights
+        if np.any(active):
+            grad_w = grad_w - (y[active, None] * z[active]).sum(axis=0) / len(batch)
+            grad_b = -float(np.sum(y[active])) / len(batch)
+        else:
+            grad_b = 0.0
+        self.weights -= lr * grad_w
+        self.bias -= lr * grad_b
+
+    def validate(self) -> float:
+        z = self._lift(self.dataset.x_val)
+        margins = self._y_val * (z @ self.weights + self.bias)
+        return float(np.mean(np.maximum(0.0, 1.0 - margins)))
+
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        return {"weights": self.weights, "bias": np.array([self.bias])}
+
+    def _load_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        self.weights = arrays["weights"]
+        self.bias = float(arrays["bias"][0])

@@ -1,0 +1,46 @@
+"""From-scratch numpy neural-network substrate.
+
+The paper's RevPred model is an LSTM + fully-connected network trained
+with a class-weighted binary cross-entropy loss.  No deep-learning
+framework is available offline, so this package implements the needed
+pieces directly on numpy with explicit forward/backward passes:
+
+* :class:`Module`/:class:`Parameter` base machinery;
+* :class:`Linear`, :class:`ReLU`, :class:`Tanh`, :class:`Sigmoid`;
+* :class:`LSTM` — multi-layer, full backpropagation through time;
+* :class:`Sequential` composition;
+* weighted binary cross-entropy loss;
+* :class:`SGD` and :class:`Adam` optimisers;
+* weight (de)serialisation to ``.npz``;
+* a numerical gradient checker used by the test suite.
+
+Every layer's backward pass is verified against finite differences in
+``tests/test_nn_gradcheck.py``.
+"""
+
+from repro.nn.activations import ReLU, Sigmoid, Tanh
+from repro.nn.gradcheck import gradient_check
+from repro.nn.linear import Linear
+from repro.nn.losses import BinaryCrossEntropy, sigmoid
+from repro.nn.lstm import LSTM
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.optim import SGD, Adam
+from repro.nn.serialize import load_weights, save_weights
+
+__all__ = [
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "gradient_check",
+    "Linear",
+    "BinaryCrossEntropy",
+    "sigmoid",
+    "LSTM",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "load_weights",
+    "save_weights",
+]

@@ -1,0 +1,73 @@
+"""Loss functions.
+
+RevPred mitigates the heavy class imbalance of spot-price labels by
+assigning class weights in the loss: with phi+ and phi- the positive
+and negative sample fractions, the positive class is weighted by phi-
+and the negative class by phi+ (paper §III-B).  The loss here takes
+logits (pre-sigmoid) for numerical stability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid (no overflow on either tail)."""
+    x = np.asarray(x, dtype=float)
+    return np.exp(np.minimum(x, 0.0)) / (1.0 + np.exp(-np.abs(x)))
+
+
+def log_sigmoid(x: np.ndarray) -> np.ndarray:
+    """log(sigmoid(x)) computed without overflow on either tail."""
+    x = np.asarray(x, dtype=float)
+    return np.minimum(x, 0.0) - np.log1p(np.exp(-np.abs(x)))
+
+
+class BinaryCrossEntropy:
+    """Class-weighted binary cross-entropy over logits.
+
+    ``forward`` returns the mean weighted loss; ``backward`` returns
+    the gradient w.r.t. the logits.
+    """
+
+    def __init__(self, pos_weight: float = 1.0, neg_weight: float = 1.0) -> None:
+        if pos_weight <= 0 or neg_weight <= 0:
+            raise ValueError(
+                f"class weights must be positive: pos={pos_weight}, neg={neg_weight}"
+            )
+        self.pos_weight = float(pos_weight)
+        self.neg_weight = float(neg_weight)
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=float).reshape(-1)
+        targets = np.asarray(targets, dtype=float).reshape(-1)
+        if logits.shape != targets.shape:
+            raise ValueError(f"shape mismatch: logits {logits.shape} vs targets {targets.shape}")
+        if np.any((targets != 0.0) & (targets != 1.0)):
+            raise ValueError("targets must be 0 or 1")
+        self._cache = (logits, targets)
+        per_sample = -(
+            self.pos_weight * targets * log_sigmoid(logits)
+            + self.neg_weight * (1.0 - targets) * log_sigmoid(-logits)
+        )
+        return float(np.mean(per_sample))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        logits, targets = self._cache
+        probabilities = sigmoid(logits)
+        weights = np.where(targets == 1.0, self.pos_weight, self.neg_weight)
+        return weights * (probabilities - targets) / len(logits)
+
+    @classmethod
+    def from_class_balance(cls, positive_fraction: float) -> "BinaryCrossEntropy":
+        """Paper's weighting: positive class weighted by phi-, negative
+        by phi+.  Degenerate one-class data falls back to equal weights."""
+        if not 0.0 <= positive_fraction <= 1.0:
+            raise ValueError(f"positive fraction must be in [0, 1]: {positive_fraction}")
+        if positive_fraction in (0.0, 1.0):
+            return cls(1.0, 1.0)
+        return cls(pos_weight=1.0 - positive_fraction, neg_weight=positive_fraction)

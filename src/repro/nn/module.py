@@ -1,0 +1,126 @@
+"""Base classes for numpy neural-network modules.
+
+A :class:`Module` owns named :class:`Parameter` objects and composes
+into trees.  The API deliberately mirrors the small subset of a deep
+learning framework the reproduction needs: ``forward`` caches whatever
+the matching ``backward`` requires; ``backward`` consumes the gradient
+of the loss w.r.t. the module output, accumulates parameter gradients,
+and returns the gradient w.r.t. the module input.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=float)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.shape})"
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        self._children: dict[str, Module] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_parameter(self, name: str, value: np.ndarray) -> Parameter:
+        parameter = Parameter(value, name=name)
+        self._parameters[name] = parameter
+        return parameter
+
+    def register_child(self, name: str, module: "Module") -> "Module":
+        self._children[name] = module
+        return module
+
+    def parameters(self) -> Iterator[Parameter]:
+        """All parameters of this module and its children, depth-first."""
+        yield from self._parameters.values()
+        for child in self._children.values():
+            yield from child.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, parameter in self._parameters.items():
+            yield f"{prefix}{name}", parameter
+        for child_name, child in self._children.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def num_parameters(self) -> int:
+        return sum(parameter.value.size for parameter in self.parameters())
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Train / eval mode
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        self.training = True
+        for child in self._children.values():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for child in self._children.values():
+            child.eval()
+        return self
+
+    # ------------------------------------------------------------------
+    # Forward / backward contract
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Sequential(Module):
+    """Feed-forward composition of modules."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers = list(layers)
+        for index, layer in enumerate(self.layers):
+            self.register_child(str(index), layer)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def __len__(self) -> int:
+        return len(self.layers)

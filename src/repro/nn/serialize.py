@@ -1,0 +1,48 @@
+"""Model weight (de)serialisation.
+
+Weights round-trip through ``.npz`` keyed by the dotted parameter path
+from :meth:`Module.named_parameters`, so any structurally identical
+module can reload them (the paper trains RevPred models offline and
+ships them to the Provisioner; this is the offline artifact format).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_weights(module: Module, path: str | Path) -> None:
+    """Write all named parameters of ``module`` to an ``.npz`` file."""
+    arrays = {name: parameter.value for name, parameter in module.named_parameters()}
+    if not arrays:
+        raise ValueError("module has no parameters to save")
+    np.savez(Path(path), **arrays)
+
+
+def load_weights(module: Module, path: str | Path) -> None:
+    """Load an ``.npz`` produced by :func:`save_weights` into ``module``.
+
+    Raises ``ValueError`` on any missing/extra/mis-shaped parameter so a
+    silently incompatible model cannot be deployed.
+    """
+    with np.load(Path(path)) as archive:
+        stored = {name: archive[name] for name in archive.files}
+    expected = dict(module.named_parameters())
+    missing = sorted(set(expected) - set(stored))
+    extra = sorted(set(stored) - set(expected))
+    if missing or extra:
+        raise ValueError(
+            f"weight file does not match module: missing={missing}, extra={extra}"
+        )
+    for name, parameter in expected.items():
+        value = stored[name]
+        if value.shape != parameter.value.shape:
+            raise ValueError(
+                f"shape mismatch for {name}: file {value.shape} vs module "
+                f"{parameter.value.shape}"
+            )
+        parameter.value[...] = value

@@ -1,0 +1,53 @@
+"""RevPred: spot-instance revocation-probability prediction.
+
+Given an instance type I, a maximum price b and a timestamp t, RevPred
+outputs the probability P(I, b, t) that the instance is revoked within
+the next hour (paper §III-B).  One model is trained offline per market.
+
+Components:
+
+* :class:`RevPredNetwork` — two-branch model: a 3-layer LSTM over the
+  59-minute history and 3 FC layers over the present record, with the
+  embeddings concatenated into a classification head;
+* :class:`TributaryNetwork` — the baseline re-implementation: a single
+  LSTM stream over all 60 records (history + present), trained on
+  uniform-delta max prices;
+* :class:`LogisticBaseline` — logistic regression over summary features;
+* :class:`OddsCorrection` — the Eq. 3 class-prior odds correction;
+* :class:`RevPredTrainer` — mini-batch Adam training with the
+  class-weighted loss;
+* :class:`MarketPredictor` / :class:`PredictorBank` — the inference
+  interface the Provisioner consumes, plus oracle/constant predictors
+  for ablations.
+"""
+
+from repro.revpred.calibration import OddsCorrection
+from repro.revpred.evaluate import PredictionMetrics, evaluate_probabilities
+from repro.revpred.logistic import LogisticBaseline
+from repro.revpred.model import RevPredNetwork
+from repro.revpred.predictor import (
+    CachingPredictor,
+    ConstantPredictor,
+    MarketPredictor,
+    OraclePredictor,
+    PredictorBank,
+)
+from repro.revpred.trainer import RevPredTrainer, TrainingHistory, train_predictor_bank
+from repro.revpred.tributary import TributaryNetwork
+
+__all__ = [
+    "OddsCorrection",
+    "PredictionMetrics",
+    "evaluate_probabilities",
+    "LogisticBaseline",
+    "RevPredNetwork",
+    "CachingPredictor",
+    "ConstantPredictor",
+    "MarketPredictor",
+    "OraclePredictor",
+    "PredictorBank",
+    "RevPredTrainer",
+    "TrainingHistory",
+    "train_predictor_bank",
+    "TributaryNetwork",
+]

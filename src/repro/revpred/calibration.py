@@ -1,0 +1,69 @@
+"""Class-prior odds correction (paper Equation 3).
+
+The spot-price training data is skewed, and RevPred counteracts this
+both in the loss weighting and at inference: the model output P-hat is
+not used as the probability directly but passed through an odds
+correction parameterised by the training class fractions phi+ / phi-.
+
+The paper's Equation 3 reads
+
+    P / (1 - P) = (P-hat * phi-) / ((1 - P-hat) * phi+).
+
+A model trained with positive-class weight phi- and negative-class
+weight phi+ converges (pointwise) to odds inflated by phi-/phi+
+relative to the true class posterior, so the *statistically standard*
+correction multiplies the model odds by phi+/phi- — the inverse of
+Equation 3 as printed.  We believe the printed equation has the ratio
+inverted (with it, a predictor trained on 10%-positive data is pushed
+to predict nearly everything positive, which also matches nothing in
+the paper's reported accuracy).  Both directions are implemented:
+``direction="standard"`` (default, used by the deployment pipeline)
+and ``direction="paper"`` (Equation 3 verbatim, kept for fidelity and
+for the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+Direction = Literal["standard", "paper"]
+
+
+@dataclass(frozen=True)
+class OddsCorrection:
+    """Odds-ratio prior correction from training class fractions."""
+
+    positive_fraction: float
+    direction: Direction = "standard"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.positive_fraction <= 1.0:
+            raise ValueError(
+                f"positive fraction must be in [0, 1]: {self.positive_fraction}"
+            )
+        if self.direction not in ("standard", "paper"):
+            raise ValueError(f"unknown direction: {self.direction!r}")
+
+    @property
+    def negative_fraction(self) -> float:
+        return 1.0 - self.positive_fraction
+
+    @property
+    def odds_multiplier(self) -> float:
+        """Factor applied to the model's odds."""
+        if self.positive_fraction in (0.0, 1.0):
+            return 1.0  # degenerate training set: no correction possible
+        if self.direction == "standard":
+            return self.positive_fraction / self.negative_fraction
+        return self.negative_fraction / self.positive_fraction
+
+    def apply(self, p_hat: np.ndarray | float) -> np.ndarray | float:
+        """Corrected probability P from raw model output P-hat."""
+        scalar = np.isscalar(p_hat)
+        p = np.clip(np.asarray(p_hat, dtype=float), 1e-9, 1.0 - 1e-9)
+        odds = p / (1.0 - p) * self.odds_multiplier
+        corrected = odds / (1.0 + odds)
+        return float(corrected) if scalar else corrected

@@ -1,0 +1,80 @@
+"""Classification metrics for revocation predictors (paper Fig. 10).
+
+Accuracy is #correct / #total; F1 is the harmonic precision/recall
+mean, "a synthetic accuracy measurement when the dataset is skewed"
+(paper §IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PredictionMetrics:
+    """Confusion-matrix derived scores at a fixed threshold."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / self.total
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def positive_fraction(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.true_positives + self.false_negatives) / self.total
+
+
+def evaluate_probabilities(
+    probabilities: np.ndarray, labels: np.ndarray, threshold: float = 0.5
+) -> PredictionMetrics:
+    """Score probabilistic predictions against binary labels."""
+    probabilities = np.asarray(probabilities, dtype=float).reshape(-1)
+    labels = np.asarray(labels, dtype=float).reshape(-1)
+    if probabilities.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: {probabilities.shape} vs {labels.shape}"
+        )
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1): {threshold}")
+    predicted = probabilities >= threshold
+    actual = labels >= 0.5
+    return PredictionMetrics(
+        true_positives=int(np.sum(predicted & actual)),
+        false_positives=int(np.sum(predicted & ~actual)),
+        true_negatives=int(np.sum(~predicted & ~actual)),
+        false_negatives=int(np.sum(~predicted & actual)),
+    )

@@ -1,0 +1,53 @@
+"""Logistic-regression baseline for revocation prediction.
+
+The weakest of the paper's three compared predictors (Fig. 10).  It
+cannot consume the raw sequence, so the history is summarised into
+per-feature means and standard deviations, concatenated with the
+present record: 6 + 6 + 7 = 19 inputs into a single linear unit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.market.features import NUM_BASE_FEATURES
+from repro.nn.linear import Linear
+from repro.nn.losses import sigmoid
+from repro.nn.module import Module
+
+
+class LogisticBaseline(Module):
+    """Logistic regression over summary features of the input window."""
+
+    def __init__(
+        self,
+        history_features: int = NUM_BASE_FEATURES,
+        present_features: int = NUM_BASE_FEATURES + 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.history_features = history_features
+        self.present_features = present_features
+        input_size = 2 * history_features + present_features
+        self.linear = Linear(input_size, 1, rng=rng)
+        self.register_child("linear", self.linear)
+
+    def summarise(self, history: np.ndarray, present: np.ndarray) -> np.ndarray:
+        """(B, 59, 6) + (B, 7) -> (B, 19) summary feature matrix."""
+        means = history.mean(axis=1)
+        stds = history.std(axis=1)
+        return np.concatenate([means, stds, present], axis=1)
+
+    def forward(self, history: np.ndarray, present: np.ndarray) -> np.ndarray:
+        if history.ndim != 3 or history.shape[2] != self.history_features:
+            raise ValueError(f"bad history shape: {history.shape}")
+        if present.ndim != 2 or present.shape[1] != self.present_features:
+            raise ValueError(f"bad present shape: {present.shape}")
+        return self.linear.forward(self.summarise(history, present)).reshape(-1)
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        self.linear.backward(grad_logits.reshape(-1, 1))
+
+    def predict_proba(self, history: np.ndarray, present: np.ndarray) -> np.ndarray:
+        return sigmoid(self.forward(history, present))

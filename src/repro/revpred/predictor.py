@@ -1,0 +1,122 @@
+"""Inference interfaces the Provisioner consumes.
+
+The Provisioner's contract is ``probability(instance, t, max_price)``
+— the chance the market revokes such an instance within the next hour.
+Implementations:
+
+* :class:`PredictorBank` — one trained model per market (production
+  path, used for the paper's main results);
+* :class:`OraclePredictor` — reads the future of the replayed trace;
+  the upper bound for ablations;
+* :class:`ConstantPredictor` — fixed probability; p=0 reproduces the
+  degenerate "stable markets" scenario of paper §V-A where SpotTune
+  just picks the lowest step cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.cloud.instance import InstanceType
+from repro.market.dataset import SpotPriceDataset
+from repro.market.features import FeatureExtractor
+from repro.market.labeling import will_be_revoked
+from repro.market.trace import HOUR
+from repro.revpred.calibration import OddsCorrection
+
+
+class RevocationPredictor(Protocol):
+    """Anything that estimates P(revoked within an hour | I, b, t)."""
+
+    def probability(self, instance: InstanceType, t: float, max_price: float) -> float:
+        ...
+
+
+@dataclass
+class MarketPredictor:
+    """Trained model + odds correction + feature source for one market."""
+
+    model: object
+    correction: OddsCorrection
+    extractor: FeatureExtractor
+
+    def probability(self, t: float, max_price: float) -> float:
+        history, present = self.extractor.window_sample(t, max_price)
+        p_hat = float(self.model.predict_proba(history[None], present[None])[0])
+        return float(self.correction.apply(p_hat))
+
+
+@dataclass
+class PredictorBank:
+    """Per-market predictors addressed by instance type."""
+
+    predictors: dict[str, MarketPredictor]
+
+    def probability(self, instance: InstanceType, t: float, max_price: float) -> float:
+        if instance.name not in self.predictors:
+            known = ", ".join(sorted(self.predictors))
+            raise KeyError(f"no predictor for {instance.name!r}; have: {known}")
+        return self.predictors[instance.name].probability(t, max_price)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.predictors
+
+
+@dataclass
+class OraclePredictor:
+    """Perfect foresight from the replayed trace (ablation reference)."""
+
+    dataset: SpotPriceDataset
+    horizon: float = HOUR
+
+    def probability(self, instance: InstanceType, t: float, max_price: float) -> float:
+        trace = self.dataset[instance.name]
+        return 1.0 if will_be_revoked(trace, t, max_price, self.horizon) else 0.0
+
+
+@dataclass(frozen=True)
+class ConstantPredictor:
+    """Fixed revocation probability for every query."""
+
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.value <= 1.0:
+            raise ValueError(f"probability must be in [0, 1]: {self.value}")
+
+    def probability(self, instance: InstanceType, t: float, max_price: float) -> float:
+        return self.value
+
+
+@dataclass
+class CachingPredictor:
+    """Memoising wrapper around any revocation predictor.
+
+    The orchestrator queries the predictor for every pool instance at
+    every deployment decision; quantising the query key (time to
+    ``time_quantum`` seconds, max price to ``price_decimals``) lets the
+    large simulation sweeps reuse LSTM inferences.  The market features
+    RevPred consumes move on minute granularity, so a 5-minute quantum
+    loses almost nothing.
+    """
+
+    inner: RevocationPredictor
+    time_quantum: float = 300.0
+    price_decimals: int = 3
+    _cache: dict[tuple[str, int, float], float] = field(default_factory=dict)
+
+    def probability(self, instance: InstanceType, t: float, max_price: float) -> float:
+        key = (
+            instance.name,
+            int(t // self.time_quantum),
+            round(max_price, self.price_decimals),
+        )
+        if key not in self._cache:
+            quantised_time = (key[1] + 0.5) * self.time_quantum
+            self._cache[key] = self.inner.probability(instance, quantised_time, max_price)
+        return self._cache[key]
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)

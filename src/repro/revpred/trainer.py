@@ -1,0 +1,148 @@
+"""Training harness for revocation predictors.
+
+Each spot market gets its own model trained offline on its history
+(paper §III-B).  Training uses mini-batch Adam with the class-weighted
+binary cross-entropy of :class:`BinaryCrossEntropy.from_class_balance`
+and gradient-norm clipping for BPTT stability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cloud.instance import get_instance_type
+from repro.market.dataset import SpotPriceDataset
+from repro.market.features import FeatureExtractor
+from repro.market.labeling import DeltaMode, TrainingSet, build_training_set, regular_sample_times
+from repro.market.trace import MINUTE
+from repro.nn.losses import BinaryCrossEntropy
+from repro.nn.optim import Adam
+from repro.revpred.calibration import OddsCorrection
+from repro.revpred.model import RevPredNetwork
+from repro.revpred.predictor import MarketPredictor, PredictorBank
+from repro.revpred.tributary import TributaryNetwork
+from repro.sim.rng import RngStream
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch mean loss of one training run."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+    positive_fraction: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epoch_losses:
+            raise ValueError("no epochs recorded")
+        return self.epoch_losses[-1]
+
+    @property
+    def epochs(self) -> int:
+        return len(self.epoch_losses)
+
+
+class RevPredTrainer:
+    """Mini-batch trainer shared by RevPred and the baselines."""
+
+    def __init__(
+        self,
+        lr: float = 0.005,
+        epochs: int = 8,
+        batch_size: int = 64,
+        clip_norm: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive: {epochs}")
+        if batch_size <= 0:
+            raise ValueError(f"batch size must be positive: {batch_size}")
+        self.lr = lr
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.clip_norm = clip_norm
+        self.seed = seed
+
+    def train(self, model, training_set: TrainingSet) -> TrainingHistory:
+        """Fit ``model`` (anything with forward/backward over
+        (history, present) pairs) on ``training_set`` in place."""
+        loss_fn = BinaryCrossEntropy.from_class_balance(training_set.positive_fraction)
+        optimizer = Adam(model.parameters(), lr=self.lr)
+        rng = RngStream(self.seed, f"trainer/{training_set.instance_type}")
+        history = TrainingHistory(positive_fraction=training_set.positive_fraction)
+        n = len(training_set)
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            batch_losses = []
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                optimizer.zero_grad()
+                logits = model.forward(
+                    training_set.history[batch], training_set.present[batch]
+                )
+                batch_losses.append(loss_fn.forward(logits, training_set.labels[batch]))
+                model.backward(loss_fn.backward())
+                optimizer.clip_grad_norm(self.clip_norm)
+                optimizer.step()
+            history.epoch_losses.append(float(np.mean(batch_losses)))
+        return history
+
+
+def default_revpred_factory(seed: int) -> RevPredNetwork:
+    return RevPredNetwork(rng=np.random.default_rng(seed))
+
+
+def default_tributary_factory(seed: int) -> TributaryNetwork:
+    return TributaryNetwork(rng=np.random.default_rng(seed))
+
+
+def train_predictor_bank(
+    train_dataset: SpotPriceDataset,
+    inference_dataset: SpotPriceDataset | None = None,
+    model_factory: Callable[[int], object] = default_revpred_factory,
+    delta_mode: DeltaMode = "fluctuation",
+    sample_interval: float = 10 * MINUTE,
+    trainer: RevPredTrainer | None = None,
+    seed: int = 0,
+) -> PredictorBank:
+    """Train one predictor per market and assemble a bank.
+
+    Args:
+        train_dataset: Price history used for labels and fitting (the
+            paper uses 04/26-05/04).
+        inference_dataset: Traces the bank extracts features from when
+            queried at run time (defaults to ``train_dataset``; pass the
+            full dataset so the bank can be queried in the test window).
+        model_factory: Builds a fresh model given a per-market seed.
+        delta_mode: "fluctuation" trains with Algorithm 2 max prices
+            (RevPred), "uniform" with Tributary's scheme.
+        sample_interval: Spacing of training sample cuts.
+        trainer: Training hyper-parameters; defaults are paper-scale-
+            compatible but compact enough for CPU.
+        seed: Root seed for sampling and model init.
+    """
+    inference_dataset = inference_dataset if inference_dataset is not None else train_dataset
+    trainer = trainer if trainer is not None else RevPredTrainer(seed=seed)
+    predictors: dict[str, MarketPredictor] = {}
+    for index, name in enumerate(train_dataset.instance_types):
+        instance = get_instance_type(name)
+        trace = train_dataset[name]
+        times = regular_sample_times(trace, interval=sample_interval)
+        training_set = build_training_set(
+            trace,
+            instance.on_demand_price,
+            times,
+            RngStream(seed, f"bank/{name}"),
+            delta_mode=delta_mode,
+        )
+        model = model_factory(seed + index)
+        trainer.train(model, training_set)
+        predictors[name] = MarketPredictor(
+            model=model,
+            correction=OddsCorrection(training_set.positive_fraction),
+            extractor=FeatureExtractor(inference_dataset[name], instance.on_demand_price),
+        )
+    return PredictorBank(predictors)

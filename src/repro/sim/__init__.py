@@ -1,0 +1,23 @@
+"""Discrete-event simulation kernel used by the cloud and market simulators.
+
+The kernel is deliberately small: a monotonic simulated clock, an event
+heap with stable FIFO ordering for simultaneous events, and seeded random
+number streams that can be forked per component so that every experiment
+is reproducible from a single root seed.
+"""
+
+from repro.sim.clock import SIM_EPOCH, SimClock, hour_of_day, is_workday, to_datetime
+from repro.sim.events import Event, EventQueue, Simulation
+from repro.sim.rng import RngStream
+
+__all__ = [
+    "SIM_EPOCH",
+    "SimClock",
+    "hour_of_day",
+    "is_workday",
+    "to_datetime",
+    "Event",
+    "EventQueue",
+    "Simulation",
+    "RngStream",
+]

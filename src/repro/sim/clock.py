@@ -1,0 +1,74 @@
+"""Simulated wall-clock time.
+
+All simulated timestamps are floating-point seconds relative to
+:data:`SIM_EPOCH`, which is pinned to the first day of the spot-price
+trace window used in the paper (2017-04-26, the start of the Kaggle
+``AWS Spot Pricing Market`` dataset).  Pinning the epoch to a real
+calendar date matters because two of RevPred's engineered features —
+"is the time a workday" and "current hour of the day" — are calendar
+features.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+
+#: Calendar origin of simulated time (t = 0.0 seconds).
+SIM_EPOCH = datetime(2017, 4, 26, 0, 0, 0, tzinfo=timezone.utc)
+
+#: Seconds in one simulated hour / day, used throughout the package.
+HOUR = 3600.0
+DAY = 86400.0
+
+
+def to_datetime(t: float) -> datetime:
+    """Convert simulated seconds to an absolute UTC datetime."""
+    return SIM_EPOCH + timedelta(seconds=float(t))
+
+
+def hour_of_day(t: float) -> int:
+    """Hour of day (0..23) of simulated timestamp ``t``."""
+    return to_datetime(t).hour
+
+
+def is_workday(t: float) -> bool:
+    """True when ``t`` falls on Monday..Friday (UTC)."""
+    return to_datetime(t).weekday() < 5
+
+
+class SimClock:
+    """A monotonic simulated clock.
+
+    The clock only moves forward; attempting to move it backwards raises
+    ``ValueError`` so scheduling bugs surface immediately instead of
+    silently corrupting billing or trace lookups.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before the epoch: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds since :data:`SIM_EPOCH`."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t``."""
+        if t < self._now:
+            raise ValueError(f"cannot move clock backwards: {t} < {self._now}")
+        self._now = float(t)
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError(f"cannot advance by a negative duration: {dt}")
+        self._now += float(dt)
+
+    def datetime(self) -> datetime:
+        """Absolute UTC datetime of the current simulated instant."""
+        return to_datetime(self._now)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.1f}, utc={self.datetime().isoformat()})"

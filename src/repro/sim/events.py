@@ -1,0 +1,127 @@
+"""Event heap and simulation driver.
+
+The :class:`Simulation` couples a :class:`~repro.sim.clock.SimClock` with
+an :class:`EventQueue`.  Components schedule callbacks at absolute times
+or after delays; the driver pops events in time order (FIFO among equal
+timestamps) and advances the clock as it goes.  Events can be cancelled,
+which is how a VM that is terminated by the user before its market
+revocation fires withdraws the pending revocation event.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.clock import SimClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering is (time, sequence number)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the driver skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A heap of :class:`Event` objects with stable ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute time ``time``."""
+        event = Event(time=float(time), seq=next(self._counter), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` when empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None``."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+
+class Simulation:
+    """Clock + event queue driver.
+
+    ``run_until(t)`` executes every event scheduled strictly up to and
+    including ``t`` and leaves the clock at exactly ``t``.  Callbacks may
+    schedule further events, including at the current instant; those are
+    executed in FIFO order within the same ``run_until`` call.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = SimClock(start)
+        self.queue = EventQueue()
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        return self.queue.push(time, callback, label)
+
+    def schedule_after(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.queue.push(self.now + delay, callback, label)
+
+    def run_until(self, t: float) -> int:
+        """Run all events with time <= ``t``; returns the number executed."""
+        if t < self.now:
+            raise ValueError(f"cannot run backwards: {t} < {self.now}")
+        executed = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > t:
+                break
+            event = self.queue.pop()
+            assert event is not None
+            self.clock.advance_to(event.time)
+            event.callback()
+            executed += 1
+        self.clock.advance_to(t)
+        return executed
+
+    def run_all(self, limit: int = 1_000_000) -> int:
+        """Drain the queue entirely; ``limit`` guards against live-lock."""
+        executed = 0
+        while executed < limit:
+            event = self.queue.pop()
+            if event is None:
+                return executed
+            self.clock.advance_to(event.time)
+            event.callback()
+            executed += 1
+        raise RuntimeError(f"run_all exceeded {limit} events; suspected event live-lock")

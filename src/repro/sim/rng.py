@@ -1,0 +1,59 @@
+"""Seeded, forkable random-number streams.
+
+Every stochastic component in the reproduction draws from an
+:class:`RngStream` forked off a single root seed.  Forking is name-based
+(SHA-256 of ``parent_key/child_name``) so adding a new consumer never
+perturbs the draws seen by existing consumers — a property plain
+sequential seeding does not have and which keeps recorded experiment
+outputs stable as the codebase grows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class RngStream:
+    """A named, reproducible random stream backed by numpy Generator."""
+
+    def __init__(self, seed: int, key: str = "root") -> None:
+        self.key = key
+        self.seed = int(seed)
+        digest = hashlib.sha256(f"{self.seed}/{key}".encode()).digest()
+        self._generator = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+    def fork(self, name: str) -> "RngStream":
+        """Create an independent child stream identified by ``name``."""
+        return RngStream(self.seed, f"{self.key}/{name}")
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying numpy generator (for vectorised draws)."""
+        return self._generator
+
+    # Thin pass-throughs for the handful of draw shapes used in the repo.
+    def uniform(self, low: float = 0.0, high: float = 1.0, size=None):
+        return self._generator.uniform(low, high, size)
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0, size=None):
+        return self._generator.normal(loc, scale, size)
+
+    def exponential(self, scale: float = 1.0, size=None):
+        return self._generator.exponential(scale, size)
+
+    def integers(self, low: int, high: int, size=None):
+        return self._generator.integers(low, high, size)
+
+    def choice(self, options, size=None, p=None):
+        return self._generator.choice(options, size=size, p=p)
+
+    def shuffle(self, array) -> None:
+        self._generator.shuffle(array)
+
+    def permutation(self, x):
+        return self._generator.permutation(x)
+
+    def __repr__(self) -> str:
+        return f"RngStream(seed={self.seed}, key={self.key!r})"

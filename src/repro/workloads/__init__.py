@@ -1,0 +1,36 @@
+"""Benchmark workloads (paper Table II) and their simulation models.
+
+A workload is an ML algorithm plus a hyper-parameter grid.  For the
+cost/JCT simulations the orchestrator needs two things per (workload,
+HP configuration) trial:
+
+* a *metric curve* — validation metric as a function of training step
+  (:mod:`repro.workloads.curves`, seeded parametric families; staged
+  for the CNN workloads with periodic LR decay), or a live numpy
+  trainer (:class:`LiveTrainerSource`) for end-to-end examples;
+* a *speed model* — seconds per step on each instance type
+  (:mod:`repro.workloads.speed`, the Fig. 6 profile with COV < 0.1
+  step-time noise, §IV-A5).
+"""
+
+from repro.workloads.catalog import BENCHMARK_WORKLOADS, get_workload
+from repro.workloads.curves import CurveParams, MetricCurve, SimulatedCurveSource, make_curve
+from repro.workloads.speed import SpeedModel
+from repro.workloads.spec import HyperParameterGrid, WorkloadSpec, config_id
+from repro.workloads.trial import LiveTrainerSource, Trial, make_trials
+
+__all__ = [
+    "BENCHMARK_WORKLOADS",
+    "get_workload",
+    "CurveParams",
+    "MetricCurve",
+    "SimulatedCurveSource",
+    "make_curve",
+    "SpeedModel",
+    "HyperParameterGrid",
+    "WorkloadSpec",
+    "config_id",
+    "LiveTrainerSource",
+    "Trial",
+    "make_trials",
+]

@@ -1,0 +1,209 @@
+"""Parametric validation-metric curves for simulated trials.
+
+The cost/JCT simulations (paper Fig. 7-9) need a metric curve per
+(workload, HP configuration) trial.  Real numpy trainers supply curves
+for the classical workloads in the examples; for the large simulation
+sweeps — and for the CNN-scale workloads with no offline substitute —
+curves are drawn from the paper's own model family (Equation 4):
+within each stage the metric follows an inverse-polynomial descent to
+a stage floor, and workloads with periodic learning-rate decay
+(``curve_family="staged"``) drop sharply at the decay boundaries set
+by their ``de`` (decay-epochs) hyper-parameter, reproducing Fig. 5b.
+
+Configuration quality is heterogeneous and deterministic: a seeded
+draw per (workload, config) sets the achievable floor and descent
+speed, with systematic adjustments from the hyper-parameters (higher
+learning rates descend faster but land on worse floors, bigger batches
+are less noisy, deeper/boosted models reach lower floors).  This gives
+every grid the paper's premise: "after the exhaustive searching, only
+a small part of the models will be left" — a few good configurations
+and a long tail of bad ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.rng import RngStream
+from repro.workloads.spec import WorkloadSpec, config_id
+
+
+@dataclass(frozen=True)
+class CurveParams:
+    """Resolved parameters of one trial's metric curve."""
+
+    initial: float
+    floors: tuple[float, ...]  # one floor per stage
+    decays: tuple[float, ...]  # per-stage descent speed
+    boundaries: tuple[int, ...]  # stage start steps (first is 0)
+    drop_factor: float  # metric multiplier at a stage boundary
+    noise_scale: float
+
+    def __post_init__(self) -> None:
+        if len(self.floors) != len(self.boundaries) or len(self.decays) != len(self.boundaries):
+            raise ValueError("floors, decays and boundaries must align")
+        if self.initial <= min(self.floors):
+            raise ValueError("initial metric must sit above the final floor")
+
+
+@dataclass
+class MetricCurve:
+    """A precomputed metric series over steps 1..max_steps."""
+
+    values: np.ndarray
+    params: CurveParams
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.ndim != 1 or len(self.values) == 0:
+            raise ValueError("curve values must be a non-empty 1-D array")
+
+    @property
+    def max_steps(self) -> int:
+        return len(self.values)
+
+    def value_at(self, step: int) -> float:
+        """Metric after ``step`` training steps (1-based)."""
+        if step < 1:
+            raise ValueError(f"steps are 1-based: {step}")
+        return float(self.values[min(step, self.max_steps) - 1])
+
+    @property
+    def final_value(self) -> float:
+        return float(self.values[-1])
+
+
+def _quality_adjustments(config: dict) -> tuple[float, float]:
+    """(floor multiplier, decay multiplier) from systematic HP effects."""
+    floor_mult = 1.0
+    decay_mult = 1.0
+    if "lr" in config:
+        lr = float(config["lr"])
+        decay_mult *= 1.0 + 4.0 * lr  # higher lr descends faster
+        floor_mult *= 1.0 + 2.0 * lr  # ... but converges worse
+    if "bs" in config:
+        floor_mult *= 1.0 - 0.0003 * float(config["bs"])
+    if "dr" in config and float(config["dr"]) < 1.0:
+        floor_mult *= 0.92  # decaying LR refines the optimum
+        decay_mult *= 0.85
+    if "kernel" in config:
+        floor_mult *= 0.75 if config["kernel"] == "rbf" else 1.0
+    if "nt" in config:
+        floor_mult *= 1.0 - 0.01 * float(config["nt"])
+    if "depth" in config:
+        floor_mult *= 1.0 - 0.005 * float(config["depth"])
+    if "version" in config:
+        floor_mult *= 0.9 if int(config["version"]) == 2 else 1.0
+    return floor_mult, decay_mult
+
+
+def make_curve(
+    workload: WorkloadSpec,
+    config: dict,
+    seed: int = 0,
+    max_stage_boundaries: int = 1,
+) -> MetricCurve:
+    """Deterministically generate the metric curve of one trial.
+
+    ``max_stage_boundaries`` caps how many periodic LR-decay drops land
+    inside the run.  The default of one matches the paper's evaluation
+    setup: with de in {40, 60} the (single) drop falls before the
+    theta = 0.7 cutoff, which is the premise behind EarlyCurve's
+    reported accuracy — a boundary *after* the observation window is
+    unpredictable from metric data alone.  Raise it to stress-test the
+    fitters on longer periodic schedules.
+    """
+    rng = RngStream(seed, f"curve/{workload.name}/{config_id(config)}").generator
+    max_steps = workload.max_trial_steps
+    floor_mult, decay_mult = _quality_adjustments(config)
+
+    initial = float(rng.uniform(0.8, 1.2))
+    base_floor = float(np.exp(rng.normal(np.log(0.25), 0.45)))
+    final_floor = min(base_floor * floor_mult, 0.85 * initial)
+    base_decay = float(rng.uniform(8.0, 25.0)) * decay_mult / max_steps
+
+    if workload.curve_family == "staged" and "de" in config:
+        # The learning rate decays *periodically*: a boundary every de%
+        # of the run (de in {40, 60} gives two drops at 40%/80% or one
+        # at 60%), each producing a sharp metric drop (Fig. 5b).
+        period = float(config["de"]) / 100.0 * max_steps
+        boundary_steps = []
+        boundary = period
+        while boundary < max_steps - 2 and len(boundary_steps) < max_stage_boundaries:
+            boundary_steps.append(int(np.clip(round(boundary), 2, max_steps - 2)))
+            boundary += period
+        boundaries = tuple([0] + boundary_steps)
+        num_stages = len(boundaries)
+        drop_factor = float(rng.uniform(0.30, 0.45))
+        # Intermediate stages settle on plateaus spaced geometrically
+        # between the initial level and the final floor; each plateau
+        # sits at least 2.3x above the next stage's floor so the drop
+        # clears Equation 7's xi = 0.5 detection threshold, as the
+        # sharp drops of real periodic LR decay do.
+        floors_list = []
+        for stage_index in range(num_stages):
+            remaining = num_stages - 1 - stage_index
+            level = final_floor * (2.3**remaining)
+            fraction = (stage_index + 1) / num_stages
+            blended = final_floor + (initial - final_floor) * (1.0 - fraction) * 0.6
+            floors_list.append(min(max(level, blended, final_floor), 0.9 * initial))
+        floors_list[-1] = final_floor
+        floors = tuple(floors_list)
+        decays = tuple(
+            base_decay * (3.0 if stage_index == 0 else 1.5)
+            for stage_index in range(num_stages)
+        )
+    else:
+        boundaries = (0,)
+        drop_factor = 1.0
+        floors = (final_floor,)
+        decays = (base_decay,)
+
+    # Noise must stay well under Equation 7's steady threshold (1% per
+    # step) or stage detection would see phantom activity; real
+    # per-epoch validation curves are this smooth.
+    noise_scale = 0.0025 / np.sqrt(float(config.get("bs", 64)) / 64.0)
+    params = CurveParams(
+        initial=initial,
+        floors=floors,
+        decays=decays,
+        boundaries=boundaries,
+        drop_factor=drop_factor,
+        noise_scale=noise_scale,
+    )
+
+    values = np.empty(max_steps)
+    level = initial
+    edges = list(params.boundaries) + [max_steps]
+    for stage_index, (start, end) in enumerate(zip(edges[:-1], edges[1:])):
+        floor = params.floors[stage_index]
+        decay = params.decays[stage_index]
+        if stage_index > 0:
+            # Sharp LR-decay drop at the boundary (Fig. 5b).
+            level = max(floor, level * params.drop_factor)
+        k_local = np.arange(1, end - start + 1, dtype=float)
+        segment = (level - floor) / (1.0 + decay * k_local) + floor
+        values[start:end] = segment
+        level = segment[-1]
+
+    noise = rng.normal(0.0, params.noise_scale, max_steps)
+    values = values * (1.0 + noise)
+    values = np.maximum(values, 1e-4)
+    return MetricCurve(values=values, params=params)
+
+
+@dataclass
+class SimulatedCurveSource:
+    """Metric source backed by a precomputed curve."""
+
+    curve: MetricCurve
+
+    def metric_at(self, step: int) -> float:
+        return self.curve.value_at(step)
+
+    @property
+    def true_final(self) -> float:
+        """Ground-truth final metric (for top-k accuracy scoring)."""
+        return self.curve.final_value

@@ -1,0 +1,85 @@
+"""Workload specifications and hyper-parameter grids."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Literal
+
+CurveFamily = Literal["single", "staged"]
+
+
+def config_id(config: dict[str, Any]) -> str:
+    """Canonical string id of an HP configuration (sorted keys)."""
+    return ",".join(f"{key}={config[key]}" for key in sorted(config))
+
+
+@dataclass(frozen=True)
+class HyperParameterGrid:
+    """A named cartesian product of hyper-parameter values."""
+
+    values: dict[str, tuple]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("grid needs at least one hyper-parameter")
+        for name, options in self.values.items():
+            if len(options) == 0:
+                raise ValueError(f"hyper-parameter {name!r} has no values")
+
+    def configurations(self) -> list[dict[str, Any]]:
+        """All configurations, in deterministic (sorted-key) order."""
+        names = sorted(self.values)
+        combos = itertools.product(*(self.values[name] for name in names))
+        return [dict(zip(names, combo)) for combo in combos]
+
+    def __len__(self) -> int:
+        size = 1
+        for options in self.values.values():
+            size *= len(options)
+        return size
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One Table II benchmark.
+
+    Attributes:
+        name: Short name used in the paper's figures (LoR, SVM, ...).
+        algorithm: Long algorithm name.
+        metric: The user-specified quality metric (Table I); all paper
+            workloads use lower-is-better losses.
+        grid: The hyper-parameter grid to search.
+        max_trial_steps: Table I max_trial_steps for this workload.
+        base_seconds_per_step: Seconds per step of a 1.0-throughput
+            reference instance (speed model input).
+        model_size_mb: Checkpoint size (drives §IV-F overheads).
+        curve_family: "staged" for the CNNs with periodic LR decay.
+        validate_every: Steps between metric observations.
+    """
+
+    name: str
+    algorithm: str
+    metric: str
+    grid: HyperParameterGrid
+    max_trial_steps: int
+    base_seconds_per_step: float
+    model_size_mb: float
+    curve_family: CurveFamily = "single"
+    validate_every: int = 1
+    dataset: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if self.max_trial_steps <= 0:
+            raise ValueError(f"{self.name}: max_trial_steps must be positive")
+        if self.base_seconds_per_step <= 0:
+            raise ValueError(f"{self.name}: base_seconds_per_step must be positive")
+        if self.model_size_mb < 0:
+            raise ValueError(f"{self.name}: model size cannot be negative")
+
+    def configurations(self) -> list[dict[str, Any]]:
+        return self.grid.configurations()
+
+    @property
+    def num_configurations(self) -> int:
+        return len(self.grid)

@@ -1,0 +1,90 @@
+"""Trials: one (workload, HP configuration) HPT job.
+
+A :class:`Trial` bundles everything the orchestrator needs about one
+job: its id, the workload spec, the HP configuration, and a metric
+source.  Metric sources come in two flavours behind one interface:
+
+* :class:`~repro.workloads.curves.SimulatedCurveSource` — precomputed
+  parametric curve (the simulation benchmarks);
+* :class:`LiveTrainerSource` — a real numpy trainer advanced lazily to
+  the requested step (the end-to-end examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.mlalgos.base import IterativeTrainer
+from repro.workloads.curves import SimulatedCurveSource, make_curve
+from repro.workloads.spec import WorkloadSpec, config_id
+
+
+class MetricSource(Protocol):
+    """Validation metric as a function of training step (1-based)."""
+
+    def metric_at(self, step: int) -> float:
+        ...
+
+
+@dataclass
+class LiveTrainerSource:
+    """Metric source backed by a real trainer, advanced on demand.
+
+    Steps are advanced lazily and metrics memoised, so the orchestrator
+    can query any past step again (e.g. after a restore) without
+    retraining.
+    """
+
+    trainer: IterativeTrainer
+    _metric_cache: dict[int, float] = field(default_factory=dict)
+
+    def metric_at(self, step: int) -> float:
+        if step < 1:
+            raise ValueError(f"steps are 1-based: {step}")
+        if step in self._metric_cache:
+            return self._metric_cache[step]
+        while self.trainer.step_count < step:
+            self.trainer.step()
+            metric = self.trainer.validate()
+            self._metric_cache[self.trainer.step_count] = metric
+        return self._metric_cache[step]
+
+    @property
+    def true_final(self) -> float:
+        raise AttributeError(
+            "a live trainer has no precomputed final metric; run it to the end"
+        )
+
+
+@dataclass
+class Trial:
+    """One HPT job: a workload configuration plus its metric source."""
+
+    workload: WorkloadSpec
+    config: dict
+    source: MetricSource
+
+    @property
+    def trial_id(self) -> str:
+        return f"{self.workload.name}[{config_id(self.config)}]"
+
+    @property
+    def max_trial_steps(self) -> int:
+        return self.workload.max_trial_steps
+
+    def metric_at(self, step: int) -> float:
+        return self.source.metric_at(step)
+
+    def true_final(self) -> float:
+        """Ground-truth final metric (simulated sources only)."""
+        return self.source.true_final
+
+
+def make_trials(workload: WorkloadSpec, seed: int = 0) -> list[Trial]:
+    """Build simulated trials for every configuration of a workload."""
+    trials = []
+    for config in workload.configurations():
+        curve = make_curve(workload, config, seed=seed)
+        trials.append(Trial(workload=workload, config=config, source=SimulatedCurveSource(curve)))
+    return trials

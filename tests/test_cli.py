@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.command == "figures"
+        assert args.scale == "small"
+        assert args.seed == 0
+
+    def test_tune_arguments(self):
+        args = build_parser().parse_args(
+            ["--seed", "3", "tune", "--workload", "SVM", "--theta", "0.5"]
+        )
+        assert args.workload == "SVM"
+        assert args.theta == 0.5
+        assert args.seed == 3
+
+    def test_trace_arguments(self):
+        args = build_parser().parse_args(["trace", "--days", "2", "--out", "x.csv"])
+        assert args.days == 2.0
+        assert args.out == "x.csv"
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_list_is_complete(self):
+        assert len(FIGURES) == 10
+
+
+class TestCommands:
+    def test_trace_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "prices.csv"
+        assert main(["trace", "--days", "1", "--out", str(out)]) == 0
+        assert out.exists()
+        captured = capsys.readouterr()
+        assert "r3.xlarge" in captured.out
+
+    def test_trace_without_output(self, capsys):
+        assert main(["trace", "--days", "1"]) == 0
+        assert "records" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self, capsys):
+        assert main(["figures", "--only", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_single_cheap_figure_runs(self, capsys):
+        assert main(["figures", "--only", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "m4.4xlarge" in out
+
+    def test_tune_with_oracle(self, capsys):
+        assert main(["tune", "--workload", "LiR", "--predictor", "oracle"]) == 0
+        out = capsys.readouterr().out
+        assert "selected top models" in out
+        assert "SpotTune" in out

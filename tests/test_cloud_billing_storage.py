@@ -1,0 +1,153 @@
+"""Tests for billing (refund rule) and checkpoint storage model."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.billing import BillingEngine
+from repro.cloud.instance import get_instance_type
+from repro.cloud.storage import CheckpointThroughputModel, ObjectStore
+from repro.market.trace import HOUR, PriceTrace
+
+
+def flat_trace(price: float = 0.2) -> PriceTrace:
+    return PriceTrace("r3.xlarge", np.array([0.0]), np.array([price]))
+
+
+class TestBilling:
+    def test_per_second_charging(self):
+        engine = BillingEngine()
+        record = engine.settle("vm-0", flat_trace(0.36), 0.0, 600.0, revoked_by_provider=False)
+        # 600 s at $0.36/hr = $0.06.
+        assert record.gross_amount == pytest.approx(0.06)
+        assert record.paid_amount == pytest.approx(0.06)
+
+    def test_charging_uses_market_price_changes(self):
+        trace = PriceTrace("x", np.array([0.0, 1800.0]), np.array([0.36, 0.72]))
+        engine = BillingEngine()
+        record = engine.settle("vm-0", trace, 0.0, HOUR, revoked_by_provider=False)
+        assert record.gross_amount == pytest.approx(0.5 * 0.36 + 0.5 * 0.72)
+
+    def test_first_hour_revocation_is_free(self):
+        engine = BillingEngine()
+        record = engine.settle("vm-0", flat_trace(), 0.0, 3000.0, revoked_by_provider=True)
+        assert record.refunded
+        assert record.paid_amount == 0.0
+        assert record.refund_amount == pytest.approx(record.gross_amount)
+
+    def test_revocation_after_one_hour_is_paid(self):
+        engine = BillingEngine()
+        record = engine.settle("vm-0", flat_trace(), 0.0, HOUR + 1.0, revoked_by_provider=True)
+        assert not record.refunded
+        assert record.paid_amount > 0.0
+
+    def test_self_termination_never_refunded(self):
+        engine = BillingEngine()
+        record = engine.settle("vm-0", flat_trace(), 0.0, 100.0, revoked_by_provider=False)
+        assert not record.refunded
+
+    def test_exactly_one_hour_not_refunded(self):
+        # Refund requires revocation *within* the first hour.
+        engine = BillingEngine()
+        record = engine.settle("vm-0", flat_trace(), 0.0, HOUR, revoked_by_provider=True)
+        assert not record.refunded
+
+    def test_totals_accumulate(self):
+        engine = BillingEngine()
+        engine.settle("a", flat_trace(0.36), 0.0, HOUR, revoked_by_provider=False)
+        engine.settle("b", flat_trace(0.36), 0.0, 1800.0, revoked_by_provider=True)
+        assert engine.total_paid == pytest.approx(0.36)
+        assert engine.total_refunded == pytest.approx(0.18)
+        assert engine.total_gross == pytest.approx(0.54)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            BillingEngine().settle("a", flat_trace(), 100.0, 50.0, revoked_by_provider=False)
+
+    def test_zero_duration_is_free(self):
+        record = BillingEngine().settle("a", flat_trace(), 50.0, 50.0, revoked_by_provider=False)
+        assert record.gross_amount == 0.0
+
+
+class TestThroughputModel:
+    def test_paper_calibration_t2_micro(self):
+        model = CheckpointThroughputModel()
+        micro = get_instance_type("t2.micro")
+        assert model.speed_mb_s(micro) == pytest.approx(62.83)
+        assert model.max_model_size_mb(micro) / 1024 == pytest.approx(7.36, abs=0.01)
+
+    def test_paper_calibration_m4_4xlarge(self):
+        model = CheckpointThroughputModel()
+        big = get_instance_type("m4.4xlarge")
+        assert model.speed_mb_s(big) == pytest.approx(134.22)
+        assert model.max_model_size_mb(big) / 1024 == pytest.approx(15.73, abs=0.01)
+
+    def test_speed_monotone_in_cores(self):
+        model = CheckpointThroughputModel()
+        speeds = [
+            model.speed_mb_s(get_instance_type(name))
+            for name in ("t2.micro", "r4.large", "r4.xlarge", "m4.2xlarge", "m4.4xlarge")
+        ]
+        assert speeds == sorted(speeds)
+
+    def test_checkpoint_duration_linear_in_size(self):
+        model = CheckpointThroughputModel()
+        inst = get_instance_type("r4.large")
+        assert model.checkpoint_duration(200.0, inst) == pytest.approx(
+            2 * model.checkpoint_duration(100.0, inst)
+        )
+
+    def test_fits_in_notice_window(self):
+        model = CheckpointThroughputModel()
+        micro = get_instance_type("t2.micro")
+        assert model.fits_in_notice_window(7000.0, micro)
+        assert not model.fits_in_notice_window(8000.0, micro)
+
+    def test_negative_size_rejected(self):
+        model = CheckpointThroughputModel()
+        with pytest.raises(ValueError):
+            model.checkpoint_duration(-1.0, get_instance_type("r4.large"))
+
+
+class TestObjectStore:
+    def test_put_get_roundtrip(self):
+        store = ObjectStore()
+        inst = get_instance_type("r4.large")
+        store.put("ckpt/hp1", 100.0, inst, payload={"step": 500}, now=10.0)
+        obj, duration = store.get("ckpt/hp1", inst)
+        assert obj.payload == {"step": 500}
+        assert duration > 0
+
+    def test_versions_increment(self):
+        store = ObjectStore()
+        inst = get_instance_type("r4.large")
+        store.put("k", 1.0, inst)
+        store.put("k", 2.0, inst)
+        assert store.head("k").version == 2
+        assert store.head("k").size_mb == 2.0
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            ObjectStore().get("nope", get_instance_type("r4.large"))
+
+    def test_transfer_accounting(self):
+        store = ObjectStore()
+        inst = get_instance_type("r4.large")
+        store.put("a", 100.0, inst)
+        store.put("b", 50.0, inst)
+        store.get("a", inst)
+        assert store.total_uploaded_mb == 150.0
+        assert store.total_downloaded_mb == 100.0
+        assert store.upload_count == 2
+        assert store.download_count == 1
+
+    def test_head_without_transfer(self):
+        store = ObjectStore()
+        store.put("a", 5.0, get_instance_type("r4.large"))
+        assert store.head("a") is not None
+        assert store.total_downloaded_mb == 0.0
+
+    def test_contains_and_len(self):
+        store = ObjectStore()
+        assert "a" not in store
+        store.put("a", 1.0, get_instance_type("r4.large"))
+        assert "a" in store and len(store) == 1

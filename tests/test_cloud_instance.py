@@ -1,0 +1,74 @@
+"""Tests for the instance-type catalog (paper Table III)."""
+
+import pytest
+
+from repro.cloud.instance import (
+    DEFAULT_INSTANCE_POOL,
+    INSTANCE_CATALOG,
+    InstanceType,
+    get_instance_type,
+)
+
+
+class TestCatalog:
+    def test_pool_matches_table_iii(self):
+        names = {instance.name for instance in DEFAULT_INSTANCE_POOL}
+        assert names == {
+            "r4.large",
+            "r4.xlarge",
+            "r3.xlarge",
+            "m4.2xlarge",
+            "r4.2xlarge",
+            "m4.4xlarge",
+        }
+
+    @pytest.mark.parametrize(
+        "name, cpus, price",
+        [
+            ("r4.large", 2, 0.133),
+            ("r3.xlarge", 4, 0.33),
+            ("r4.xlarge", 4, 0.266),
+            ("m4.2xlarge", 8, 0.4),
+            ("r4.2xlarge", 8, 0.532),
+            ("m4.4xlarge", 16, 0.8),
+        ],
+    )
+    def test_table_iii_values(self, name, cpus, price):
+        instance = get_instance_type(name)
+        assert instance.cpus == cpus
+        assert instance.on_demand_price == price
+
+    def test_t2_micro_present_for_checkpoint_experiment(self):
+        micro = get_instance_type("t2.micro")
+        assert micro.cpus == 1
+        assert micro not in DEFAULT_INSTANCE_POOL
+
+    def test_unknown_type_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="r3.xlarge"):
+            get_instance_type("p3.16xlarge")
+
+    def test_catalog_is_consistent_with_pool(self):
+        for instance in DEFAULT_INSTANCE_POOL:
+            assert INSTANCE_CATALOG[instance.name] is instance
+
+
+class TestInstanceType:
+    def test_rejects_nonpositive_cpus(self):
+        with pytest.raises(ValueError):
+            InstanceType("bad", 0, 1.0, 0.1)
+
+    def test_rejects_nonpositive_price(self):
+        with pytest.raises(ValueError):
+            InstanceType("bad", 1, 1.0, 0.0)
+
+    def test_frozen(self):
+        instance = get_instance_type("r4.large")
+        with pytest.raises(AttributeError):
+            instance.cpus = 99
+
+    def test_str_is_name(self):
+        assert str(get_instance_type("r4.large")) == "r4.large"
+
+    def test_hashable_for_dict_keys(self):
+        mapping = {get_instance_type("r4.large"): 1}
+        assert mapping[get_instance_type("r4.large")] == 1

@@ -1,0 +1,134 @@
+"""Tests for the simulated spot provider: fulfillment, notices, revocation."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.instance import get_instance_type
+from repro.cloud.provider import TERMINATION_NOTICE_SECONDS, SimCloudProvider
+from repro.market.dataset import SpotPriceDataset
+from repro.market.trace import HOUR, PriceTrace
+from repro.sim.events import Simulation
+
+R3 = get_instance_type("r3.xlarge")
+
+
+def make_provider(times, prices, launch_delay=0.0):
+    dataset = SpotPriceDataset()
+    dataset.add(PriceTrace("r3.xlarge", np.asarray(times, float), np.asarray(prices, float)))
+    sim = Simulation()
+    return sim, SimCloudProvider(sim, dataset, launch_delay=launch_delay)
+
+
+class TestRequests:
+    def test_fulfilled_when_price_below_max(self):
+        sim, provider = make_provider([0.0], [0.1])
+        request = provider.request_spot(R3, max_price=0.2)
+        assert request.fulfilled
+        assert request.vm.is_running
+
+    def test_rejected_when_price_above_max(self):
+        sim, provider = make_provider([0.0], [0.5])
+        request = provider.request_spot(R3, max_price=0.2)
+        assert not request.fulfilled
+        assert "exceeds" in request.reason
+
+    def test_launch_delay_applied(self):
+        sim, provider = make_provider([0.0], [0.1], launch_delay=30.0)
+        vm = provider.request_spot(R3, max_price=0.2).vm
+        assert vm.launch_time == 30.0
+
+    def test_current_price_follows_trace(self):
+        sim, provider = make_provider([0.0, 100.0], [0.1, 0.3])
+        assert provider.current_price(R3) == 0.1
+        sim.run_until(150.0)
+        assert provider.current_price(R3) == 0.3
+
+
+class TestRevocation:
+    def test_revoked_when_price_crosses_max(self):
+        sim, provider = make_provider([0.0, HOUR / 2], [0.1, 0.5])
+        vm = provider.request_spot(R3, max_price=0.2).vm
+        sim.run_until(HOUR)
+        assert vm.was_revoked
+        assert vm.end_time == HOUR / 2
+
+    def test_notice_precedes_revocation_by_two_minutes(self):
+        sim, provider = make_provider([0.0, HOUR / 2], [0.1, 0.5])
+        vm = provider.request_spot(R3, max_price=0.2).vm
+        sim.run_until(HOUR / 2 - TERMINATION_NOTICE_SECONDS)
+        assert vm.consume_notice()
+        assert vm.is_running  # notice but not yet revoked
+        sim.run_until(HOUR)
+        assert vm.was_revoked
+
+    def test_notice_consumed_only_once(self):
+        sim, provider = make_provider([0.0, HOUR / 2], [0.1, 0.5])
+        vm = provider.request_spot(R3, max_price=0.2).vm
+        sim.run_until(HOUR / 2 - 60.0)
+        assert vm.consume_notice()
+        assert not vm.consume_notice()
+
+    def test_first_hour_revocation_refunded(self):
+        sim, provider = make_provider([0.0, HOUR / 2], [0.1, 0.5])
+        provider.request_spot(R3, max_price=0.2)
+        sim.run_until(HOUR)
+        assert provider.billing.total_paid == 0.0
+        assert provider.billing.total_refunded > 0.0
+
+    def test_late_revocation_not_refunded(self):
+        sim, provider = make_provider([0.0, 2 * HOUR], [0.1, 0.5])
+        provider.request_spot(R3, max_price=0.2)
+        sim.run_until(3 * HOUR)
+        assert provider.billing.total_paid > 0.0
+        assert provider.billing.total_refunded == 0.0
+
+    def test_revocation_callback_invoked(self):
+        sim, provider = make_provider([0.0, HOUR / 2], [0.1, 0.5])
+        revoked = []
+        provider.request_spot(R3, max_price=0.2, on_revocation=revoked.append)
+        sim.run_until(HOUR)
+        assert len(revoked) == 1 and revoked[0].was_revoked
+
+    def test_safe_vm_never_revoked(self):
+        sim, provider = make_provider([0.0], [0.1])
+        vm = provider.request_spot(R3, max_price=10.0).vm
+        sim.run_until(100 * HOUR)
+        assert vm.is_running
+
+
+class TestTermination:
+    def test_user_termination_settles_without_refund(self):
+        sim, provider = make_provider([0.0], [0.36])
+        vm = provider.request_spot(R3, max_price=1.0).vm
+        sim.run_until(1800.0)
+        provider.terminate(vm)
+        assert vm.state.value == "terminated"
+        assert provider.billing.total_paid == pytest.approx(0.18)
+        assert provider.billing.total_refunded == 0.0
+
+    def test_termination_cancels_pending_revocation(self):
+        sim, provider = make_provider([0.0, HOUR / 2], [0.1, 0.5])
+        vm = provider.request_spot(R3, max_price=0.2).vm
+        sim.run_until(60.0)
+        provider.terminate(vm)
+        sim.run_until(2 * HOUR)  # revocation event must not fire
+        assert vm.state.value == "terminated"
+        assert len(provider.billing.records) == 1
+
+    def test_double_termination_rejected(self):
+        sim, provider = make_provider([0.0], [0.1])
+        vm = provider.request_spot(R3, max_price=1.0).vm
+        provider.terminate(vm)
+        with pytest.raises(ValueError):
+            provider.terminate(vm)
+
+    def test_active_vm_registry(self):
+        sim, provider = make_provider([0.0], [0.1])
+        vm = provider.request_spot(R3, max_price=1.0).vm
+        assert vm.vm_id in provider.active_vms
+        provider.terminate(vm)
+        assert vm.vm_id not in provider.active_vms
+
+    def test_negative_launch_delay_rejected(self):
+        with pytest.raises(ValueError):
+            make_provider([0.0], [0.1], launch_delay=-1.0)

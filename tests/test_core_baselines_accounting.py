@@ -1,0 +1,127 @@
+"""Tests for the single-spot baselines and accounting records."""
+
+import pytest
+
+from repro.core.accounting import JobRecord, RunResult, SegmentRecord
+from repro.core.baselines import run_single_spot
+from repro.market.dataset import generate_default_dataset
+from repro.sim.clock import DAY
+from repro.workloads.catalog import get_workload
+from repro.workloads.trial import make_trials
+
+START = 9 * DAY
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_default_dataset(seed=0, days=12)
+
+
+@pytest.fixture(scope="module")
+def trials():
+    return make_trials(get_workload("SVM"), seed=0)
+
+
+class TestSingleSpotBaseline:
+    def test_fastest_faster_but_pricier_than_cheapest(self, dataset, trials):
+        workload = get_workload("SVM")
+        cheapest = run_single_spot(workload, trials, dataset, "r4.large", start_time=START)
+        fastest = run_single_spot(workload, trials, dataset, "m4.4xlarge", start_time=START)
+        assert fastest.jct < cheapest.jct
+        assert fastest.total_paid > cheapest.total_paid
+
+    def test_all_trials_fully_trained(self, dataset, trials):
+        result = run_single_spot(
+            get_workload("SVM"), trials, dataset, "r4.large", start_time=START
+        )
+        for record in result.jobs.values():
+            assert record.steps_completed == 1000.0
+            assert record.finish_mode == "full_training"
+
+    def test_jct_is_longest_trial(self, dataset, trials):
+        result = run_single_spot(
+            get_workload("SVM"), trials, dataset, "r4.large", start_time=START
+        )
+        durations = [record.finished_at - START for record in result.jobs.values()]
+        assert result.jct == pytest.approx(max(durations))
+
+    def test_no_refunds_in_baseline(self, dataset, trials):
+        result = run_single_spot(
+            get_workload("SVM"), trials, dataset, "r4.large", start_time=START
+        )
+        assert result.total_refunded == 0.0
+        assert result.free_step_fraction == 0.0
+
+    def test_selection_by_true_finals(self, dataset, trials):
+        result = run_single_spot(
+            get_workload("SVM"), trials, dataset, "r4.large", start_time=START, mcnt=3
+        )
+        truth = {trial.trial_id: trial.true_final() for trial in trials}
+        assert result.top_k_hit(truth, 1)  # full training selects the true best
+
+    def test_instance_by_name(self, dataset, trials):
+        by_name = run_single_spot(
+            get_workload("SVM"), trials, dataset, "r4.large", start_time=START
+        )
+        assert by_name.jobs[trials[0].trial_id].segments[0].instance_name == "r4.large"
+
+    def test_empty_trials_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            run_single_spot(get_workload("SVM"), [], dataset, "r4.large")
+
+
+class TestAccounting:
+    def make_result(self, **overrides):
+        job = JobRecord(
+            trial_id="t",
+            segments=[
+                SegmentRecord("vm-0", "r4.large", 0.0, 100.0, steps=50.0, refunded=True),
+                SegmentRecord("vm-1", "r4.large", 100.0, 200.0, steps=150.0, refunded=False),
+            ],
+            checkpoint_time=5.0,
+            restore_time=5.0,
+            finished_at=200.0,
+            steps_completed=200.0,
+        )
+        values = dict(
+            workload_name="X",
+            theta=0.7,
+            jct=200.0,
+            total_paid=1.0,
+            total_refunded=3.0,
+            checkpoint_time=5.0,
+            restore_time=5.0,
+            jobs={"t": job},
+            predictions={"t": 0.5},
+            selected=["t"],
+        )
+        values.update(overrides)
+        return RunResult(**values)
+
+    def test_free_step_fraction(self):
+        assert self.make_result().free_step_fraction == pytest.approx(0.25)
+
+    def test_refund_fraction(self):
+        assert self.make_result().refund_fraction == pytest.approx(0.75)
+
+    def test_overhead_fraction(self):
+        assert self.make_result().overhead_fraction == pytest.approx(10.0 / 200.0)
+
+    def test_pcr(self):
+        result = self.make_result()
+        # PCR = alpha / (JCT_hours * cost)
+        assert result.performance_cost_rate() == pytest.approx(1.0 / (200 / 3600 * 1.0))
+
+    def test_top_k_hit(self):
+        result = self.make_result(selected=["a", "b", "c"])
+        truth = {"a": 0.9, "b": 0.1, "c": 0.5, "d": 0.7}
+        assert result.top_k_hit(truth, 3)  # best ("b") in top 3
+        assert not result.top_k_hit(truth, 1)  # but not rank 1
+
+    def test_top_k_requires_truth(self):
+        with pytest.raises(ValueError):
+            self.make_result().top_k_hit({})
+
+    def test_zero_jct_overhead(self):
+        result = self.make_result(jct=0.0)
+        assert result.overhead_fraction == 0.0

@@ -1,0 +1,114 @@
+"""Tests for the geometric (linear-convergence) and adaptive families."""
+
+import numpy as np
+import pytest
+
+from repro.earlycurve.families import (
+    AdaptiveCurveModel,
+    GeometricCurveModel,
+    GeometricFit,
+    fit_geometric_stage,
+)
+from repro.earlycurve.stages import Stage
+
+
+def geometric_curve(n=150, amplitude=0.8, rate=0.97, floor=0.2, noise=0.0, seed=0):
+    k = np.arange(1, n + 1, dtype=float)
+    values = amplitude * rate**k + floor
+    if noise:
+        values += np.random.default_rng(seed).normal(0, noise, n)
+    return values
+
+
+def sublinear_curve(n=150, floor=0.3, seed=0, noise=0.0):
+    k = np.arange(1, n + 1, dtype=float)
+    values = 1.0 / (0.05 * k + 1.5) + floor
+    if noise:
+        values += np.random.default_rng(seed).normal(0, noise, n)
+    return values
+
+
+class TestGeometricStageFit:
+    def test_recovers_exact_family_member(self):
+        values = geometric_curve()
+        k = np.arange(1, len(values) + 1, dtype=float)
+        params = fit_geometric_stage(k, values)
+        amplitude, rate, floor = params
+        assert amplitude == pytest.approx(0.8, rel=0.05)
+        assert rate == pytest.approx(0.97, abs=0.005)
+        assert floor == pytest.approx(0.2, abs=0.02)
+
+    def test_rate_bounded_below_one(self):
+        values = geometric_curve(noise=0.01)
+        params = fit_geometric_stage(np.arange(1, len(values) + 1.0), values)
+        assert 0.0 < params[1] < 1.0
+
+    def test_short_stage_constant_fallback(self):
+        params = fit_geometric_stage(np.array([1.0, 2.0]), np.array([0.4, 0.6]))
+        assert params[2] == pytest.approx(0.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_geometric_stage(np.arange(3.0), np.arange(4.0))
+
+
+class TestGeometricCurveModel:
+    def test_extrapolates_to_floor(self):
+        values = geometric_curve(n=100)
+        prediction = GeometricCurveModel().fit_predict(values, target_step=2000)
+        assert prediction == pytest.approx(0.2, abs=0.02)
+
+    def test_handles_staged_geometric_curves(self):
+        # Two geometric stages separated by a drop sharp enough to
+        # clear Equation 7's xi = 0.5 threshold (0.60 -> 0.25).
+        stage1 = geometric_curve(n=100, amplitude=0.5, rate=0.95, floor=0.6)
+        stage2 = geometric_curve(n=100, amplitude=0.2, rate=0.95, floor=0.05)
+        values = np.concatenate([stage1, stage2])
+        fit = GeometricCurveModel().fit(values)
+        assert fit.num_stages == 2
+        steps = np.arange(len(values), dtype=float)
+        assert fit.rmse(steps, values) < 0.01
+
+    def test_negative_step_rejected(self):
+        fit = GeometricCurveModel().fit(geometric_curve())
+        with pytest.raises(ValueError):
+            fit.predict(-1.0)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            GeometricFit(stages=[Stage(0, 5)], params=[])
+
+
+class TestAdaptiveCurveModel:
+    def test_selects_geometric_for_geometric_data(self):
+        values = geometric_curve(n=120, rate=0.95, noise=0.001)
+        assert AdaptiveCurveModel().selected_family(values) == "geometric"
+
+    def test_geometric_beats_sublinear_on_geometric_extrapolation(self):
+        # The paper's §V-B point: applying the sublinear family to a
+        # linearly converging optimiser mispredicts the tail.
+        full = geometric_curve(n=300, rate=0.98, floor=0.2)
+        observed = full[:150]
+        adaptive_prediction = AdaptiveCurveModel().fit_predict(observed, 299)
+        from repro.earlycurve.model import StagedCurveModel
+
+        sublinear_prediction = StagedCurveModel().fit_predict(observed, 299)
+        truth = full[-1]
+        assert abs(adaptive_prediction - truth) <= abs(sublinear_prediction - truth)
+
+    def test_adaptive_matches_sublinear_on_sublinear_data(self):
+        values = sublinear_curve(n=150, noise=0.001)
+        adaptive = AdaptiveCurveModel()
+        prediction = adaptive.fit_predict(values, 400)
+        from repro.earlycurve.model import StagedCurveModel
+
+        sublinear_prediction = StagedCurveModel().fit_predict(values, 400)
+        # Whichever family it picks, the prediction must stay close to
+        # the dedicated sublinear fit on sublinear data.
+        assert prediction == pytest.approx(sublinear_prediction, abs=0.05)
+
+    def test_prediction_finite_on_noisy_data(self):
+        rng = np.random.default_rng(0)
+        values = np.abs(rng.normal(0.5, 0.1, 80)) + 0.05
+        prediction = AdaptiveCurveModel().fit_predict(values, 200)
+        assert np.isfinite(prediction)

@@ -1,0 +1,82 @@
+"""Tests for the spot-price dataset container and CSV round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.market.dataset import SpotPriceDataset, generate_default_dataset
+from repro.market.trace import PriceTrace
+from repro.sim.clock import DAY
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_default_dataset(seed=0, days=3.0)
+
+
+class TestDataset:
+    def test_default_has_table_iii_pool(self, dataset):
+        assert dataset.instance_types == [
+            "m4.2xlarge",
+            "m4.4xlarge",
+            "r3.xlarge",
+            "r4.2xlarge",
+            "r4.large",
+            "r4.xlarge",
+        ]
+
+    def test_duplicate_add_rejected(self, dataset):
+        copy = SpotPriceDataset()
+        trace = dataset["r3.xlarge"]
+        copy.add(trace)
+        with pytest.raises(ValueError, match="duplicate"):
+            copy.add(trace)
+
+    def test_missing_trace_error_lists_known(self, dataset):
+        with pytest.raises(KeyError, match="r3.xlarge"):
+            dataset["nonexistent.type"]
+
+    def test_contains_and_len(self, dataset):
+        assert "r3.xlarge" in dataset
+        assert len(dataset) == 6
+
+    def test_split_partitions_time(self, dataset):
+        mid = dataset.start + 1.5 * DAY
+        train, test = dataset.split(mid)
+        for name in dataset.instance_types:
+            assert train[name].end <= mid
+            assert test[name].start == mid
+        # Price function preserved across the split boundary.
+        t = mid + 100.0
+        assert test["r3.xlarge"].price_at(t) == dataset["r3.xlarge"].price_at(t)
+
+    def test_split_outside_span_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.split(dataset.end + DAY)
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip_preserves_traces(self, dataset, tmp_path):
+        path = tmp_path / "prices.csv"
+        dataset.save_csv(path)
+        loaded = SpotPriceDataset.load_csv(path)
+        assert loaded.instance_types == dataset.instance_types
+        for name in dataset.instance_types:
+            original, restored = dataset[name], loaded[name]
+            np.testing.assert_allclose(restored.times, original.times, atol=1e-3)
+            np.testing.assert_allclose(restored.prices, original.prices, atol=1e-4)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            SpotPriceDataset.load_csv(path)
+
+    def test_load_sorts_out_of_order_rows(self, tmp_path):
+        path = tmp_path / "unordered.csv"
+        path.write_text(
+            "timestamp,instance_type,region,price\n"
+            "120.000,r3.xlarge,us-east-1,0.3000\n"
+            "0.000,r3.xlarge,us-east-1,0.2000\n"
+        )
+        loaded = SpotPriceDataset.load_csv(path)
+        np.testing.assert_array_equal(loaded["r3.xlarge"].times, [0.0, 120.0])

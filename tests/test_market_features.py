@@ -1,0 +1,109 @@
+"""Tests for RevPred's engineered features."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.instance import get_instance_type
+from repro.market.features import (
+    HISTORY_MINUTES,
+    MIN_CONTEXT_SECONDS,
+    NUM_BASE_FEATURES,
+    FeatureExtractor,
+)
+from repro.market.synthetic import SyntheticMarketGenerator
+from repro.market.trace import HOUR, MINUTE, PriceTrace
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    instance = get_instance_type("r3.xlarge")
+    trace = SyntheticMarketGenerator(seed=1).generate(instance, days=2)
+    return FeatureExtractor(trace, instance.on_demand_price)
+
+
+def flat_trace(price: float = 0.1) -> PriceTrace:
+    return PriceTrace("flat", np.array([0.0]), np.array([price]))
+
+
+class TestBaseFeatures:
+    def test_six_features(self, extractor):
+        t = extractor.earliest_sample_time
+        assert extractor.base_features_at(t).shape == (NUM_BASE_FEATURES,)
+
+    def test_flat_trace_features(self):
+        extractor = FeatureExtractor(flat_trace(0.1), on_demand_price=0.4)
+        t = 2 * HOUR + 100.0
+        current, average, changes, since_set, workday, hour = extractor.base_features_at(t)
+        assert current == pytest.approx(0.25)  # 0.1 / 0.4
+        assert average == pytest.approx(0.25)
+        assert changes == 0.0
+        assert since_set == 1.0  # capped at one hour
+        assert workday == 1.0  # epoch is a Wednesday
+        assert hour == pytest.approx(2 / 23.0)
+
+    def test_changes_counts_past_hour(self):
+        times = np.array([0.0, 2 * HOUR - 30 * MINUTE, 2 * HOUR - 10 * MINUTE])
+        prices = np.array([0.1, 0.2, 0.3])
+        extractor = FeatureExtractor(PriceTrace("x", times, prices), 1.0)
+        features = extractor.base_features_at(2 * HOUR)
+        assert features[2] == pytest.approx(2 / 60.0)
+
+    def test_features_are_normalised(self, extractor):
+        t = extractor.earliest_sample_time + HOUR
+        features = extractor.base_features_at(t)
+        assert np.all(np.isfinite(features))
+        # Prices scaled by on-demand: spot spikes capped at 10x on-demand.
+        assert 0.0 < features[0] <= 10.0
+        assert 0.0 <= features[5] <= 1.0
+
+    def test_rejects_nonpositive_on_demand(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(flat_trace(), 0.0)
+
+
+class TestHistoryMatrix:
+    def test_shape(self, extractor):
+        history = extractor.history_matrix(extractor.earliest_sample_time)
+        assert history.shape == (HISTORY_MINUTES, NUM_BASE_FEATURES)
+
+    def test_rows_ordered_oldest_first(self):
+        # Price steps up at t=2.5h; rows before that minute see old price.
+        step_time = MIN_CONTEXT_SECONDS + 30 * MINUTE
+        trace = PriceTrace("x", np.array([0.0, step_time]), np.array([0.1, 0.2]))
+        extractor = FeatureExtractor(trace, 1.0)
+        t = step_time + 10 * MINUTE
+        history = extractor.history_matrix(t)
+        current_prices = history[:, 0]
+        assert current_prices[0] == pytest.approx(0.1)
+        assert current_prices[-1] == pytest.approx(0.2)
+        assert np.all(np.diff(current_prices) >= 0)
+
+    def test_insufficient_context_rejected(self, extractor):
+        with pytest.raises(ValueError, match="context"):
+            extractor.history_matrix(extractor.earliest_sample_time - 1.0)
+
+    def test_context_constant_consistent(self):
+        assert MIN_CONTEXT_SECONDS == HISTORY_MINUTES * MINUTE + HOUR
+
+
+class TestPresentRecord:
+    def test_has_seven_features(self, extractor):
+        t = extractor.earliest_sample_time
+        record = extractor.present_record(t, max_price=0.5)
+        assert record.features.shape == (NUM_BASE_FEATURES + 1,)
+
+    def test_max_price_is_normalised(self):
+        extractor = FeatureExtractor(flat_trace(0.1), on_demand_price=0.4)
+        record = extractor.present_record(2 * HOUR, max_price=0.2)
+        assert record.features[-1] == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_max_price(self, extractor):
+        with pytest.raises(ValueError):
+            extractor.present_record(extractor.earliest_sample_time, 0.0)
+
+    def test_window_sample_shapes(self, extractor):
+        history, present = extractor.window_sample(
+            extractor.earliest_sample_time + HOUR, max_price=0.5
+        )
+        assert history.shape == (HISTORY_MINUTES, NUM_BASE_FEATURES)
+        assert present.shape == (NUM_BASE_FEATURES + 1,)

@@ -1,0 +1,130 @@
+"""Tests for Algorithm 2 labeling and training-set construction."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.instance import get_instance_type
+from repro.market.labeling import (
+    UNIFORM_DELTA_HIGH,
+    UNIFORM_DELTA_LOW,
+    build_training_set,
+    draw_uniform_delta,
+    fluctuation_delta,
+    regular_sample_times,
+    will_be_revoked,
+)
+from repro.market.synthetic import SyntheticMarketGenerator
+from repro.market.trace import HOUR, MINUTE, PriceTrace
+from repro.sim.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def volatile_trace():
+    return SyntheticMarketGenerator(seed=2).generate(get_instance_type("r3.xlarge"), days=3)
+
+
+def step_trace(step_at: float, low: float = 0.1, high: float = 1.0) -> PriceTrace:
+    return PriceTrace("step", np.array([0.0, step_at]), np.array([low, high]))
+
+
+class TestFluctuationDelta:
+    def test_flat_market_gives_zero(self):
+        trace = PriceTrace("flat", np.array([0.0]), np.array([0.1]))
+        assert fluctuation_delta(trace, 3 * HOUR) == 0.0
+
+    def test_requires_history(self):
+        trace = PriceTrace("flat", np.array([0.0]), np.array([0.1]))
+        with pytest.raises(ValueError):
+            fluctuation_delta(trace, 30 * MINUTE)
+
+    def test_positive_on_volatile_market(self, volatile_trace):
+        t = volatile_trace.start + 6 * HOUR
+        assert fluctuation_delta(volatile_trace, t) >= 0.0
+
+    def test_trims_outliers(self):
+        # One huge jump among tiny wiggles: trimmed mean stays small.
+        minutes = np.arange(0, 4 * HOUR, MINUTE)
+        prices = np.full(len(minutes), 0.1)
+        prices[150] = 5.0  # single spike record
+        prices[151:] = 0.1
+        trace = PriceTrace("spiky", minutes, prices)
+        delta = fluctuation_delta(trace, minutes[180])
+        assert delta < 0.5  # far below the naive mean with the 5.0 jump
+
+
+class TestRevocationLabel:
+    def test_revoked_when_price_crosses(self):
+        trace = step_trace(step_at=2 * HOUR)
+        assert will_be_revoked(trace, 1.5 * HOUR, max_price=0.5)
+
+    def test_not_revoked_when_price_stays_below(self):
+        trace = step_trace(step_at=2 * HOUR)
+        assert not will_be_revoked(trace, 1.5 * HOUR, max_price=2.0)
+
+    def test_horizon_limits_lookahead(self):
+        trace = step_trace(step_at=5 * HOUR)
+        assert not will_be_revoked(trace, 1.0 * HOUR, max_price=0.5, horizon=HOUR)
+        assert will_be_revoked(trace, 4.5 * HOUR, max_price=0.5, horizon=HOUR)
+
+
+class TestUniformDelta:
+    def test_within_tributary_interval(self):
+        rng = RngStream(0, "delta")
+        draws = [draw_uniform_delta(rng) for _ in range(200)]
+        assert min(draws) >= UNIFORM_DELTA_LOW
+        assert max(draws) <= UNIFORM_DELTA_HIGH
+
+
+class TestBuildTrainingSet:
+    def test_shapes_and_determinism(self, volatile_trace):
+        on_demand = get_instance_type("r3.xlarge").on_demand_price
+        times = regular_sample_times(volatile_trace, interval=30 * MINUTE)
+        rng = RngStream(0, "build")
+        ts = build_training_set(volatile_trace, on_demand, times, rng)
+        assert ts.history.shape == (len(ts), 59, 6)
+        assert ts.present.shape == (len(ts), 7)
+        assert ts.labels.shape == (len(ts),)
+        assert set(np.unique(ts.labels)) <= {0.0, 1.0}
+
+        ts2 = build_training_set(volatile_trace, on_demand, times, RngStream(0, "build"))
+        np.testing.assert_array_equal(ts.labels, ts2.labels)
+        np.testing.assert_array_equal(ts.present, ts2.present)
+
+    def test_volatile_market_has_positives(self, volatile_trace):
+        on_demand = get_instance_type("r3.xlarge").on_demand_price
+        times = regular_sample_times(volatile_trace, interval=15 * MINUTE)
+        ts = build_training_set(volatile_trace, on_demand, times, RngStream(0, "x"))
+        assert 0.0 < ts.positive_fraction < 1.0
+
+    def test_uniform_mode_differs_from_fluctuation(self, volatile_trace):
+        on_demand = get_instance_type("r3.xlarge").on_demand_price
+        times = regular_sample_times(volatile_trace, interval=HOUR)
+        fluct = build_training_set(
+            volatile_trace, on_demand, times, RngStream(0, "a"), delta_mode="fluctuation"
+        )
+        unif = build_training_set(
+            volatile_trace, on_demand, times, RngStream(0, "a"), delta_mode="uniform"
+        )
+        # Max-price feature (last column of present) should differ.
+        assert not np.allclose(fluct.present[:, -1], unif.present[:, -1])
+
+    def test_unknown_mode_rejected(self, volatile_trace):
+        times = regular_sample_times(volatile_trace, interval=HOUR)
+        with pytest.raises(ValueError, match="delta mode"):
+            build_training_set(volatile_trace, 0.33, times, RngStream(0, "x"), delta_mode="bogus")
+
+    def test_unusable_times_skipped(self, volatile_trace):
+        on_demand = get_instance_type("r3.xlarge").on_demand_price
+        times = np.array([volatile_trace.start, volatile_trace.start + 5 * HOUR])
+        ts = build_training_set(volatile_trace, on_demand, times, RngStream(0, "x"))
+        assert len(ts) == 1  # the first lacks context
+
+    def test_no_usable_times_raises(self, volatile_trace):
+        times = np.array([volatile_trace.start])
+        with pytest.raises(ValueError, match="usable"):
+            build_training_set(volatile_trace, 0.33, times, RngStream(0, "x"))
+
+    def test_regular_sample_times_respects_bounds(self, volatile_trace):
+        times = regular_sample_times(volatile_trace, interval=HOUR)
+        assert times[0] >= volatile_trace.start + 59 * MINUTE + HOUR
+        assert times[-1] <= volatile_trace.end - HOUR

@@ -1,0 +1,241 @@
+"""Tests for the numpy ML trainers: learning, checkpoints, interfaces."""
+
+import numpy as np
+import pytest
+
+from repro.mlalgos.datasets import (
+    make_binary_classification,
+    make_image_classification,
+    make_regression,
+)
+from repro.mlalgos.gbt import GBTRegressionTrainer, fit_tree, predict_tree
+from repro.mlalgos.linear_regression import LinearRegressionTrainer
+from repro.mlalgos.logistic_regression import LogisticRegressionTrainer
+from repro.mlalgos.mlp import MLPClassifierTrainer, cross_entropy, softmax
+from repro.mlalgos.svm import SVMTrainer
+
+
+@pytest.fixture(scope="module")
+def binary_data():
+    return make_binary_classification(n_samples=600, n_features=15, seed=0)
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    return make_regression(n_samples=600, n_features=12, seed=0)
+
+
+@pytest.fixture(scope="module")
+def image_data():
+    return make_image_classification(n_samples=500, n_features=24, n_classes=3, seed=0)
+
+
+class TestDatasets:
+    def test_split_sizes(self, binary_data):
+        assert binary_data.num_train + binary_data.num_val == 600
+        assert binary_data.num_val == 120
+
+    def test_binary_labels(self, binary_data):
+        assert set(np.unique(binary_data.y_train)) <= {0.0, 1.0}
+
+    def test_regression_standardised(self, regression_data):
+        y = np.concatenate([regression_data.y_train, regression_data.y_val])
+        assert abs(np.mean(y)) < 0.05
+        assert np.std(y) == pytest.approx(1.0, abs=0.05)
+
+    def test_image_classes(self, image_data):
+        labels = np.unique(image_data.y_train)
+        assert set(labels.astype(int)) == {0, 1, 2}
+
+    def test_deterministic(self):
+        a = make_binary_classification(n_samples=50, seed=1)
+        b = make_binary_classification(n_samples=50, seed=1)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+
+    def test_too_few_classes_rejected(self):
+        with pytest.raises(ValueError):
+            make_image_classification(n_classes=1)
+
+
+def checkpoint_resume_matches(trainer_factory, steps_before=6, steps_after=6):
+    """Train N+M steps straight vs checkpoint at N and resume: the
+    resulting metric must be bit-identical (SpotTune's redeployment
+    correctness property)."""
+    straight = trainer_factory()
+    for _ in range(steps_before + steps_after):
+        straight.step()
+
+    resumed = trainer_factory()
+    for _ in range(steps_before):
+        resumed.step()
+    checkpoint = resumed.get_state()
+    fresh = trainer_factory()
+    fresh.set_state(checkpoint)
+    for _ in range(steps_after):
+        fresh.step()
+
+    assert fresh.step_count == straight.step_count
+    assert fresh.validate() == straight.validate()
+
+
+class TestLogisticRegression:
+    def test_learns(self, binary_data):
+        trainer = LogisticRegressionTrainer(binary_data, lr=0.5, seed=0)
+        initial = trainer.validate()
+        steps, metrics = trainer.run(150, validate_every=10)
+        assert metrics[-1] < initial
+        assert steps[-1] == 150
+
+    def test_lr_decay_applied(self):
+        lr = LogisticRegressionTrainer.decayed_lr(0.1, step=2000, decay_rate=0.5, decay_steps=1000)
+        assert lr == pytest.approx(0.025)
+
+    def test_checkpoint_resume(self, binary_data):
+        checkpoint_resume_matches(
+            lambda: LogisticRegressionTrainer(binary_data, lr=0.1, seed=3)
+        )
+
+    def test_invalid_params_rejected(self, binary_data):
+        with pytest.raises(ValueError):
+            LogisticRegressionTrainer(binary_data, batch_size=0)
+        with pytest.raises(ValueError):
+            LogisticRegressionTrainer(binary_data, lr=0.0)
+
+    def test_metric_name(self, binary_data):
+        assert LogisticRegressionTrainer(binary_data).metric_name == "cross_entropy"
+
+
+class TestLinearRegression:
+    def test_learns(self, regression_data):
+        trainer = LinearRegressionTrainer(regression_data, lr=0.05, seed=0)
+        initial = trainer.validate()
+        _, metrics = trainer.run(200, validate_every=20)
+        assert metrics[-1] < 0.6 * initial
+
+    def test_checkpoint_resume(self, regression_data):
+        checkpoint_resume_matches(
+            lambda: LinearRegressionTrainer(regression_data, lr=0.02, seed=5)
+        )
+
+    def test_run_validates_final_step(self, regression_data):
+        trainer = LinearRegressionTrainer(regression_data, seed=0)
+        steps, metrics = trainer.run(7, validate_every=3)
+        assert steps == [3, 6, 7]
+        assert len(metrics) == 3
+
+
+class TestSVM:
+    def test_linear_kernel_learns(self, binary_data):
+        trainer = SVMTrainer(binary_data, kernel="linear", lr=0.1, seed=0)
+        initial = trainer.validate()
+        _, metrics = trainer.run(150, validate_every=10)
+        assert metrics[-1] < initial
+
+    def test_rbf_kernel_learns(self, binary_data):
+        trainer = SVMTrainer(binary_data, kernel="rbf", lr=0.1, rff_features=100, seed=0)
+        initial = trainer.validate()
+        _, metrics = trainer.run(150, validate_every=10)
+        assert metrics[-1] < initial
+
+    def test_unknown_kernel_rejected(self, binary_data):
+        with pytest.raises(ValueError, match="kernel"):
+            SVMTrainer(binary_data, kernel="poly")
+
+    def test_checkpoint_resume_rbf(self, binary_data):
+        checkpoint_resume_matches(
+            lambda: SVMTrainer(binary_data, kernel="rbf", rff_features=50, seed=7)
+        )
+
+    def test_rbf_lift_dimension(self, binary_data):
+        trainer = SVMTrainer(binary_data, kernel="rbf", rff_features=64)
+        lifted = trainer._lift(binary_data.x_val[:5])
+        assert lifted.shape == (5, 64)
+
+
+class TestGBT:
+    def test_tree_fits_constant(self):
+        x = np.random.default_rng(0).normal(size=(50, 3))
+        residuals = np.full(50, 2.5)
+        tree = fit_tree(x, residuals, max_depth=3, rng=np.random.default_rng(1))
+        np.testing.assert_allclose(predict_tree(tree, x), 2.5)
+
+    def test_tree_splits_a_step_function(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, size=(200, 2))
+        y = np.where(x[:, 0] > 0, 1.0, -1.0)
+        tree = fit_tree(x, y, max_depth=2, rng=rng)
+        predictions = predict_tree(tree, x)
+        assert np.mean(np.sign(predictions) == np.sign(y)) > 0.9
+
+    def test_boosting_learns(self, regression_data):
+        trainer = GBTRegressionTrainer(regression_data, lr=0.3, max_depth=3, seed=0)
+        initial = trainer.validate()
+        _, metrics = trainer.run(15)
+        assert metrics[-1] < 0.7 * initial
+        assert np.all(np.diff(metrics) < 0.2)  # mostly improving
+
+    def test_predict_matches_incremental(self, regression_data):
+        trainer = GBTRegressionTrainer(regression_data, lr=0.3, seed=0)
+        trainer.run(5)
+        np.testing.assert_allclose(
+            trainer.predict(regression_data.x_val), trainer._f_val, atol=1e-10
+        )
+
+    def test_checkpoint_resume(self, regression_data):
+        checkpoint_resume_matches(
+            lambda: GBTRegressionTrainer(regression_data, lr=0.3, max_depth=2, seed=9),
+            steps_before=3,
+            steps_after=3,
+        )
+
+    def test_invalid_depth_rejected(self):
+        x = np.zeros((10, 2))
+        with pytest.raises(ValueError):
+            fit_tree(x, np.zeros(10), max_depth=0, rng=np.random.default_rng(0))
+
+
+class TestMLP:
+    def test_learns(self, image_data):
+        trainer = MLPClassifierTrainer(image_data, lr=3e-3, hidden_units=32, seed=0)
+        initial = trainer.validate()
+        _, metrics = trainer.run(150, validate_every=25)
+        assert metrics[-1] < initial
+        assert trainer.validation_accuracy() > 0.5
+
+    def test_residual_variant_learns(self, image_data):
+        trainer = MLPClassifierTrainer(
+            image_data, lr=3e-3, residual=True, num_blocks=3, seed=0
+        )
+        initial = trainer.validate()
+        _, metrics = trainer.run(120, validate_every=20)
+        assert metrics[-1] < initial
+
+    def test_lr_decay_staircase(self, image_data):
+        trainer = MLPClassifierTrainer(image_data, lr=1e-2, decay_every=50, decay_factor=0.1)
+        assert trainer.current_lr() == pytest.approx(1e-2)
+        trainer._step_count = 50
+        assert trainer.current_lr() == pytest.approx(1e-3)
+        trainer._step_count = 100
+        assert trainer.current_lr() == pytest.approx(1e-4)
+
+    def test_checkpoint_resume(self, image_data):
+        checkpoint_resume_matches(
+            lambda: MLPClassifierTrainer(image_data, lr=1e-3, hidden_units=16, seed=11),
+            steps_before=4,
+            steps_after=4,
+        )
+
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(5, 4)) * 10
+        np.testing.assert_allclose(softmax(logits).sum(axis=1), 1.0)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        labels = np.array([0, 1])
+        assert cross_entropy(logits, labels) == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_params_rejected(self, image_data):
+        with pytest.raises(ValueError):
+            MLPClassifierTrainer(image_data, num_blocks=0)
+        with pytest.raises(ValueError):
+            MLPClassifierTrainer(image_data, decay_every=0)

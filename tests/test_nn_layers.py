@@ -1,0 +1,241 @@
+"""Tests for nn layers: shapes, values, and gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import ReLU, Sigmoid, Tanh
+from repro.nn.gradcheck import gradient_check
+from repro.nn.linear import Linear
+from repro.nn.losses import BinaryCrossEntropy, log_sigmoid, sigmoid
+from repro.nn.lstm import LSTM
+from repro.nn.module import Sequential
+
+GRAD_TOL = 1e-5
+
+
+def check_module_gradients(module, x, seed=0):
+    """Forward, sum-output loss, backward, then finite-difference check
+    of both parameter gradients and the input gradient."""
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=module.forward(x).shape)
+
+    def loss_fn():
+        return float(np.sum(module.forward(x) * weights))
+
+    module.zero_grad()
+    module.forward(x)
+    grad_input = module.backward(weights)
+    worst = gradient_check(loss_fn, module.parameters(), rng=rng)
+    assert worst < GRAD_TOL, f"parameter gradient mismatch: {worst}"
+
+    # Check input gradient on a few entries.
+    eps = 1e-6
+    flat = x.reshape(-1)
+    flat_grad = grad_input.reshape(-1)
+    for index in rng.choice(flat.size, size=min(20, flat.size), replace=False):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = loss_fn()
+        flat[index] = original - eps
+        minus = loss_fn()
+        flat[index] = original
+        numeric = (plus - minus) / (2 * eps)
+        scale = max(1.0, abs(numeric), abs(flat_grad[index]))
+        assert abs(numeric - flat_grad[index]) / scale < GRAD_TOL
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3)
+        assert layer.forward(np.ones((5, 4))).shape == (5, 3)
+
+    def test_forward_3d_input(self):
+        layer = Linear(4, 3)
+        assert layer.forward(np.ones((2, 7, 4))).shape == (2, 7, 3)
+
+    def test_wrong_feature_size_rejected(self):
+        with pytest.raises(ValueError, match="last axis"):
+            Linear(4, 3).forward(np.ones((5, 2)))
+
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(RuntimeError):
+            Linear(4, 3).backward(np.ones((5, 3)))
+
+    def test_gradients(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(4, 3, rng=rng)
+        check_module_gradients(layer, rng.normal(size=(5, 4)))
+
+    def test_gradients_3d(self):
+        rng = np.random.default_rng(2)
+        layer = Linear(4, 3, rng=rng)
+        check_module_gradients(layer, rng.normal(size=(2, 6, 4)))
+
+    def test_deterministic_init(self):
+        a = Linear(4, 3, rng=np.random.default_rng(7))
+        b = Linear(4, 3, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.weight.value, b.weight.value)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("cls", [ReLU, Tanh, Sigmoid])
+    def test_gradients(self, cls):
+        rng = np.random.default_rng(3)
+        check_module_gradients(cls(), rng.normal(size=(6, 4)))
+
+    def test_relu_values(self):
+        out = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_extremes_stable(self):
+        out = Sigmoid().forward(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+
+    def test_tanh_matches_numpy(self):
+        x = np.linspace(-2, 2, 9)
+        np.testing.assert_allclose(Tanh().forward(x), np.tanh(x))
+
+
+class TestSequential:
+    def test_composition_gradients(self):
+        rng = np.random.default_rng(4)
+        model = Sequential(Linear(5, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng), Tanh())
+        check_module_gradients(model, rng.normal(size=(3, 5)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential()
+
+    def test_len_and_param_count(self):
+        model = Sequential(Linear(5, 8), Linear(8, 2))
+        assert len(model) == 2
+        assert model.num_parameters() == 5 * 8 + 8 + 8 * 2 + 2
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), ReLU())
+        model.eval()
+        assert not model.layers[0].training
+        model.train()
+        assert model.layers[0].training
+
+
+class TestLSTM:
+    def test_output_shape(self):
+        lstm = LSTM(input_size=6, hidden_size=5, num_layers=3)
+        assert lstm.forward(np.ones((4, 10, 6))).shape == (4, 10, 5)
+
+    def test_bad_input_shape_rejected(self):
+        with pytest.raises(ValueError):
+            LSTM(6, 5).forward(np.ones((4, 6)))
+
+    def test_nonpositive_layers_rejected(self):
+        with pytest.raises(ValueError):
+            LSTM(6, 5, num_layers=0)
+
+    def test_single_layer_gradients(self):
+        rng = np.random.default_rng(5)
+        lstm = LSTM(input_size=3, hidden_size=4, num_layers=1, rng=rng)
+        check_module_gradients(lstm, rng.normal(size=(2, 5, 3)))
+
+    def test_stacked_gradients(self):
+        rng = np.random.default_rng(6)
+        lstm = LSTM(input_size=3, hidden_size=3, num_layers=2, rng=rng)
+        check_module_gradients(lstm, rng.normal(size=(2, 4, 3)))
+
+    def test_last_step_seed_shape(self):
+        lstm = LSTM(3, 4)
+        seed = lstm.last_step_backward_seed(np.ones((2, 4)), steps=7)
+        assert seed.shape == (2, 7, 4)
+        assert np.all(seed[:, :-1] == 0.0)
+        assert np.all(seed[:, -1] == 1.0)
+
+    def test_sequence_memory(self):
+        # The LSTM output at the last step must depend on early inputs.
+        rng = np.random.default_rng(8)
+        lstm = LSTM(input_size=2, hidden_size=4, num_layers=1, rng=rng)
+        x = rng.normal(size=(1, 6, 2))
+        base = lstm.forward(x)[:, -1].copy()
+        x_perturbed = x.copy()
+        x_perturbed[0, 0, 0] += 1.0
+        perturbed = lstm.forward(x_perturbed)[:, -1]
+        assert not np.allclose(base, perturbed)
+
+    def test_forget_bias_initialised_to_one(self):
+        lstm = LSTM(3, 4, num_layers=1)
+        hidden = 4
+        bias = lstm.layers[0].bias.value
+        np.testing.assert_array_equal(bias[hidden : 2 * hidden], 1.0)
+        np.testing.assert_array_equal(bias[:hidden], 0.0)
+
+
+class TestBinaryCrossEntropy:
+    def test_known_value(self):
+        loss = BinaryCrossEntropy()
+        # logit 0 -> p = 0.5 -> loss = ln 2 regardless of target.
+        value = loss.forward(np.zeros(4), np.array([0.0, 1.0, 0.0, 1.0]))
+        assert value == pytest.approx(np.log(2.0))
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(9)
+        logits = rng.normal(size=8)
+        targets = (rng.random(8) > 0.5).astype(float)
+        loss = BinaryCrossEntropy(pos_weight=0.3, neg_weight=0.7)
+        loss.forward(logits, targets)
+        grad = loss.backward()
+        eps = 1e-6
+        for i in range(len(logits)):
+            perturbed = logits.copy()
+            perturbed[i] += eps
+            plus = loss.forward(perturbed, targets)
+            perturbed[i] -= 2 * eps
+            minus = loss.forward(perturbed, targets)
+            numeric = (plus - minus) / (2 * eps)
+            assert numeric == pytest.approx(grad[i], rel=1e-4, abs=1e-8)
+
+    def test_class_weights_scale_loss(self):
+        heavy = BinaryCrossEntropy(pos_weight=2.0)
+        light = BinaryCrossEntropy(pos_weight=1.0)
+        logits, targets = np.array([0.0]), np.array([1.0])
+        assert heavy.forward(logits, targets) == pytest.approx(
+            2 * light.forward(logits, targets)
+        )
+
+    def test_from_class_balance(self):
+        loss = BinaryCrossEntropy.from_class_balance(0.1)
+        assert loss.pos_weight == pytest.approx(0.9)
+        assert loss.neg_weight == pytest.approx(0.1)
+
+    def test_from_degenerate_balance(self):
+        loss = BinaryCrossEntropy.from_class_balance(0.0)
+        assert loss.pos_weight == loss.neg_weight == 1.0
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(ValueError, match="0 or 1"):
+            BinaryCrossEntropy().forward(np.zeros(2), np.array([0.5, 1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            BinaryCrossEntropy().forward(np.zeros(2), np.zeros(3))
+
+    def test_extreme_logits_stable(self):
+        value = BinaryCrossEntropy().forward(
+            np.array([1000.0, -1000.0]), np.array([1.0, 0.0])
+        )
+        assert np.isfinite(value) and value == pytest.approx(0.0, abs=1e-6)
+
+
+class TestStableHelpers:
+    def test_sigmoid_range(self):
+        x = np.linspace(-50, 50, 101)
+        s = sigmoid(x)
+        assert np.all((s > 0) & (s < 1) | (s == 0) | (s == 1))
+
+    def test_log_sigmoid_matches_naive_in_safe_range(self):
+        x = np.linspace(-5, 5, 21)
+        np.testing.assert_allclose(log_sigmoid(x), np.log(1 / (1 + np.exp(-x))), rtol=1e-10)

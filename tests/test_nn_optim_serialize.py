@@ -1,0 +1,130 @@
+"""Tests for optimisers, end-to-end training, and weight serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.linear import Linear
+from repro.nn.losses import BinaryCrossEntropy, sigmoid
+from repro.nn.module import Parameter, Sequential
+from repro.nn.activations import ReLU
+from repro.nn.optim import SGD, Adam
+from repro.nn.serialize import load_weights, save_weights
+
+
+def quadratic_param(start):
+    return Parameter(np.array(start, dtype=float), name="x")
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        # minimise (x - 3)^2
+        p = quadratic_param([10.0])
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            p.grad[...] = 2 * (p.value - 3.0)
+            opt.step()
+        assert p.value[0] == pytest.approx(3.0, abs=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = quadratic_param([10.0])
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                p.grad[...] = 2 * (p.value - 3.0)
+                opt.step()
+            return abs(p.value[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param([1.0])], lr=0.0)
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param([1.0])], lr=0.1, momentum=1.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param([10.0])
+        opt = Adam([p], lr=0.3)
+        for _ in range(300):
+            opt.zero_grad()
+            p.grad[...] = 2 * (p.value - 3.0)
+            opt.step()
+        assert p.value[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_invalid_betas_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param([1.0])], beta1=1.0)
+
+    def test_clip_grad_norm(self):
+        p = quadratic_param([0.0, 0.0])
+        p.grad[...] = [3.0, 4.0]  # norm 5
+        opt = Adam([p])
+        pre = opt.clip_grad_norm(1.0)
+        assert pre == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_clip_noop_when_below(self):
+        p = quadratic_param([0.0])
+        p.grad[...] = [0.5]
+        Adam([p]).clip_grad_norm(1.0)
+        assert p.grad[0] == pytest.approx(0.5)
+
+
+class TestEndToEndTraining:
+    def test_mlp_learns_xor(self):
+        rng = np.random.default_rng(0)
+        x = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+        y = np.array([0.0, 1.0, 1.0, 0.0])
+        model = Sequential(Linear(2, 8, rng=rng), ReLU(), Linear(8, 1, rng=rng))
+        loss_fn = BinaryCrossEntropy()
+        optimizer = Adam(model.parameters(), lr=0.05)
+        for _ in range(400):
+            optimizer.zero_grad()
+            logits = model.forward(x)
+            loss_fn.forward(logits, y)
+            model.backward(loss_fn.backward().reshape(-1, 1))
+            optimizer.step()
+        predictions = sigmoid(model.forward(x).reshape(-1)) > 0.5
+        np.testing.assert_array_equal(predictions, y.astype(bool))
+
+
+class TestSerialization:
+    def make_model(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return Sequential(Linear(3, 4, rng=rng), ReLU(), Linear(4, 1, rng=rng))
+
+    def test_roundtrip(self, tmp_path):
+        source = self.make_model(seed=1)
+        target = self.make_model(seed=2)
+        path = tmp_path / "weights.npz"
+        save_weights(source, path)
+        load_weights(target, path)
+        x = np.random.default_rng(3).normal(size=(5, 3))
+        np.testing.assert_array_equal(source.forward(x), target.forward(x))
+
+    def test_mismatched_structure_rejected(self, tmp_path):
+        path = tmp_path / "weights.npz"
+        save_weights(self.make_model(), path)
+        other = Sequential(Linear(3, 4))
+        with pytest.raises(ValueError, match="does not match"):
+            load_weights(other, path)
+
+    def test_mismatched_shape_rejected(self, tmp_path):
+        path = tmp_path / "weights.npz"
+        save_weights(Sequential(Linear(3, 4)), path)
+        with pytest.raises(ValueError):
+            load_weights(Sequential(Linear(4, 4)), path)
+
+    def test_parameterless_module_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no parameters"):
+            save_weights(Sequential(ReLU()), tmp_path / "w.npz")

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for cross-cutting invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.billing import BillingEngine
+from repro.cloud.instance import get_instance_type
+from repro.cloud.storage import CheckpointThroughputModel
+from repro.earlycurve.model import StagedCurveModel
+from repro.earlycurve.predictor import rank_configurations
+from repro.market.trace import HOUR, PriceTrace
+from repro.mlalgos.gbt import fit_tree, predict_tree
+from repro.nn.losses import BinaryCrossEntropy, log_sigmoid, sigmoid
+from repro.revpred.calibration import OddsCorrection
+
+
+@st.composite
+def price_segments(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    gaps = draw(st.lists(st.floats(min_value=10.0, max_value=2000.0), min_size=n, max_size=n))
+    prices = draw(st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=n, max_size=n))
+    return PriceTrace("prop", np.cumsum(gaps), np.asarray(prices))
+
+
+class TestBillingProperties:
+    @given(
+        price_segments(),
+        st.floats(min_value=0.0, max_value=3 * HOUR),
+        st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_paid_plus_refunded_equals_gross(self, trace, duration, revoked):
+        engine = BillingEngine()
+        start = trace.start
+        record = engine.settle("vm", trace, start, start + duration, revoked)
+        assert record.paid_amount + record.refund_amount == pytest.approx(
+            record.gross_amount
+        )
+        assert record.gross_amount >= 0.0
+
+    @given(price_segments(), st.floats(min_value=0.0, max_value=0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_refund_only_within_first_hour(self, trace, hour_fraction):
+        engine = BillingEngine()
+        start = trace.start
+        duration = hour_fraction * HOUR
+        record = engine.settle("vm", trace, start, start + duration, True)
+        assert record.refunded
+
+    @given(price_segments(), st.floats(min_value=1.001, max_value=5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_no_refund_past_one_hour(self, trace, hours):
+        # min_value sits just above 1.0: float cancellation in
+        # (start + 1.0 * HOUR) - start can land a hair under 3600 s,
+        # and the refund rule legitimately compares measured seconds.
+        engine = BillingEngine()
+        start = trace.start
+        record = engine.settle("vm", trace, start, start + hours * HOUR, True)
+        assert not record.refunded
+
+    @given(price_segments(), st.floats(min_value=0.1, max_value=2.0))
+    @settings(max_examples=60, deadline=None)
+    def test_gross_bounded_by_price_extremes(self, trace, hours):
+        engine = BillingEngine()
+        start = trace.start
+        duration = hours * HOUR
+        record = engine.settle("vm", trace, start, start + duration, False)
+        low = trace.prices.min() * duration / HOUR
+        high = trace.prices.max() * duration / HOUR
+        assert low - 1e-9 <= record.gross_amount <= high + 1e-9
+
+
+class TestCalibrationProperties:
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=0.001, max_value=0.999),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_correction_stays_in_unit_interval(self, fraction, p_hat):
+        for direction in ("standard", "paper"):
+            corrected = OddsCorrection(fraction, direction).apply(p_hat)
+            assert 0.0 <= corrected <= 1.0
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_correction_is_monotone(self, fraction):
+        correction = OddsCorrection(fraction)
+        probabilities = np.linspace(0.01, 0.99, 25)
+        corrected = correction.apply(probabilities)
+        assert np.all(np.diff(corrected) > 0)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_directions_compose_to_identity(self, fraction, p_hat):
+        standard = OddsCorrection(fraction, "standard")
+        paper = OddsCorrection(fraction, "paper")
+        roundtrip = paper.apply(standard.apply(p_hat))
+        assert roundtrip == pytest.approx(p_hat, rel=1e-6)
+
+
+class TestLossProperties:
+    @given(st.lists(st.floats(min_value=-30, max_value=30), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_loss_nonnegative_and_finite(self, logits):
+        logits = np.asarray(logits)
+        targets = (np.arange(len(logits)) % 2).astype(float)
+        loss = BinaryCrossEntropy().forward(logits, targets)
+        assert np.isfinite(loss) and loss >= 0.0
+
+    @given(st.floats(min_value=-700, max_value=700))
+    @settings(max_examples=80, deadline=None)
+    def test_sigmoid_log_sigmoid_consistent(self, x):
+        s = float(sigmoid(np.array(x)))
+        ls = float(log_sigmoid(np.array(x)))
+        assert 0.0 <= s <= 1.0
+        assert ls <= 0.0
+        if 0.001 < s < 0.999:
+            assert ls == pytest.approx(np.log(s), rel=1e-6)
+
+
+class TestCurveFitProperties:
+    @given(
+        st.floats(min_value=0.05, max_value=0.8),
+        st.floats(min_value=0.001, max_value=0.2),
+        st.integers(min_value=30, max_value=120),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fit_predictions_are_finite_and_bounded(self, floor, decay, n):
+        k = np.arange(1, n + 1, dtype=float)
+        values = 1.0 / (decay * k + 1.0) + floor
+        fit = StagedCurveModel().fit(values)
+        prediction = fit.predict(float(3 * n))
+        assert np.isfinite(prediction)
+        # The fitted family is non-increasing: the extrapolation cannot
+        # exceed the first observation (up to fit slack).
+        assert prediction <= values[0] + 0.1
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_ranking_returns_k_distinct_best(self, pool, k):
+        rng = np.random.default_rng(pool * 7 + k)
+        predictions = {f"c{i}": float(rng.uniform(0, 1)) for i in range(pool)}
+        top = rank_configurations(predictions, k)
+        assert len(top) == min(k, pool)
+        assert len(set(top)) == len(top)
+        worst_selected = max(predictions[c] for c in top)
+        for name, value in predictions.items():
+            if name not in top:
+                assert value >= worst_selected - 1e-12
+
+
+class TestTreeProperties:
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_tree_predictions_within_residual_range(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(80, 3))
+        residuals = rng.normal(size=80)
+        tree = fit_tree(x, residuals, max_depth=3, rng=rng)
+        predictions = predict_tree(tree, x)
+        assert predictions.min() >= residuals.min() - 1e-9
+        assert predictions.max() <= residuals.max() + 1e-9
+
+
+class TestThroughputProperties:
+    @given(st.floats(min_value=0.0, max_value=50_000.0))
+    @settings(max_examples=40, deadline=None)
+    def test_checkpoint_restore_symmetry(self, size_mb):
+        model = CheckpointThroughputModel()
+        instance = get_instance_type("r4.xlarge")
+        up = model.checkpoint_duration(size_mb, instance)
+        down = model.restore_duration(size_mb, instance)
+        assert up == pytest.approx(down)
+        assert up >= 0.0

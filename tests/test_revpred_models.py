@@ -1,0 +1,193 @@
+"""Tests for RevPred, Tributary, and logistic networks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import gradient_check
+from repro.revpred.calibration import OddsCorrection
+from repro.revpred.logistic import LogisticBaseline
+from repro.revpred.model import RevPredNetwork
+from repro.revpred.tributary import TributaryNetwork
+
+
+def tiny_batch(batch=3, steps=59, seed=0):
+    rng = np.random.default_rng(seed)
+    history = rng.normal(size=(batch, steps, 6))
+    present = rng.normal(size=(batch, 7))
+    return history, present
+
+
+def small_revpred(seed=0):
+    return RevPredNetwork(
+        lstm_hidden=4, lstm_layers=2, fc_hidden=4, rng=np.random.default_rng(seed)
+    )
+
+
+class TestRevPredNetwork:
+    def test_forward_shape(self):
+        history, present = tiny_batch()
+        logits = small_revpred().forward(history, present)
+        assert logits.shape == (3,)
+
+    def test_predict_proba_in_unit_interval(self):
+        history, present = tiny_batch()
+        proba = small_revpred().predict_proba(history, present)
+        assert np.all((proba > 0) & (proba < 1))
+
+    def test_bad_history_shape_rejected(self):
+        history, present = tiny_batch()
+        with pytest.raises(ValueError, match="history"):
+            small_revpred().forward(history[:, :, :4], present)
+
+    def test_bad_present_shape_rejected(self):
+        history, present = tiny_batch()
+        with pytest.raises(ValueError, match="present"):
+            small_revpred().forward(history, present[:, :5])
+
+    def test_batch_mismatch_rejected(self):
+        history, present = tiny_batch()
+        with pytest.raises(ValueError, match="batch"):
+            small_revpred().forward(history[:2], present)
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(RuntimeError):
+            small_revpred().backward(np.ones(3))
+
+    def test_gradients_through_both_branches(self):
+        model = RevPredNetwork(
+            lstm_hidden=3, lstm_layers=1, fc_hidden=3, rng=np.random.default_rng(1)
+        )
+        rng = np.random.default_rng(2)
+        history = rng.normal(size=(2, 5, 6))
+        present = rng.normal(size=(2, 7))
+        weights = rng.normal(size=2)
+
+        def loss_fn():
+            return float(np.sum(model.forward(history, present) * weights))
+
+        model.zero_grad()
+        model.forward(history, present)
+        model.backward(weights)
+        worst = gradient_check(loss_fn, model.parameters(), rng=rng)
+        assert worst < 1e-5
+
+    def test_output_depends_on_max_price(self):
+        model = small_revpred()
+        history, present = tiny_batch()
+        base = model.forward(history, present).copy()
+        present_changed = present.copy()
+        present_changed[:, -1] += 1.0
+        assert not np.allclose(base, model.forward(history, present_changed))
+
+
+class TestTributaryNetwork:
+    def test_forward_shape(self):
+        history, present = tiny_batch()
+        model = TributaryNetwork(lstm_hidden=4, lstm_layers=2, rng=np.random.default_rng(0))
+        assert model.forward(history, present).shape == (3,)
+
+    def test_pack_sequence_broadcasts_max_price(self):
+        model = TributaryNetwork(lstm_hidden=4, rng=np.random.default_rng(0))
+        history, present = tiny_batch()
+        packed = model._pack_sequence(history, present)
+        assert packed.shape == (3, 60, 7)
+        # Max price occupies the last column of every history step.
+        np.testing.assert_array_equal(packed[:, 0, -1], present[:, -1])
+        np.testing.assert_array_equal(packed[:, -1, :], present)
+
+    def test_gradients(self):
+        model = TributaryNetwork(lstm_hidden=3, lstm_layers=1, rng=np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        history = rng.normal(size=(2, 4, 6))
+        present = rng.normal(size=(2, 7))
+        weights = rng.normal(size=2)
+
+        def loss_fn():
+            return float(np.sum(model.forward(history, present) * weights))
+
+        model.zero_grad()
+        model.forward(history, present)
+        model.backward(weights)
+        assert gradient_check(loss_fn, model.parameters(), rng=rng) < 1e-5
+
+    def test_bad_shapes_rejected(self):
+        model = TributaryNetwork(lstm_hidden=4)
+        history, present = tiny_batch()
+        with pytest.raises(ValueError):
+            model.forward(history[:, :, :3], present)
+        with pytest.raises(ValueError):
+            model.forward(history, present[:, :3])
+
+
+class TestLogisticBaseline:
+    def test_summarise_shape(self):
+        model = LogisticBaseline()
+        history, present = tiny_batch()
+        assert model.summarise(history, present).shape == (3, 19)
+
+    def test_forward_shape(self):
+        history, present = tiny_batch()
+        assert LogisticBaseline().forward(history, present).shape == (3,)
+
+    def test_gradients(self):
+        model = LogisticBaseline(rng=np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        history = rng.normal(size=(3, 5, 6))
+        present = rng.normal(size=(3, 7))
+        weights = rng.normal(size=3)
+
+        def loss_fn():
+            return float(np.sum(model.forward(history, present) * weights))
+
+        model.zero_grad()
+        model.forward(history, present)
+        model.backward(weights)
+        assert gradient_check(loss_fn, model.parameters(), rng=rng) < 1e-6
+
+
+class TestOddsCorrection:
+    def test_balanced_classes_identity(self):
+        correction = OddsCorrection(0.5)
+        assert correction.apply(0.3) == pytest.approx(0.3)
+
+    def test_standard_damps_overprediction_on_rare_positives(self):
+        # A model trained with pos-weight phi- on 10%-positive data
+        # overestimates; the standard correction pulls it back down.
+        correction = OddsCorrection(0.1, direction="standard")
+        assert correction.apply(0.5) == pytest.approx(1.0 / 9.0 / (1 + 1.0 / 9.0))
+        assert correction.apply(0.3) < 0.3
+
+    def test_paper_direction_is_equation_3_verbatim(self):
+        phi_pos = 0.2
+        correction = OddsCorrection(phi_pos, direction="paper")
+        p_hat = 0.4
+        odds = (p_hat * 0.8) / ((1 - p_hat) * 0.2)
+        assert correction.apply(p_hat) == pytest.approx(odds / (1 + odds))
+
+    def test_directions_are_inverses_in_odds_space(self):
+        standard = OddsCorrection(0.2, direction="standard")
+        paper = OddsCorrection(0.2, direction="paper")
+        assert standard.odds_multiplier == pytest.approx(1.0 / paper.odds_multiplier)
+
+    def test_vectorised_and_monotone(self):
+        correction = OddsCorrection(0.25)
+        out = correction.apply(np.array([0.1, 0.5, 0.9]))
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+    def test_extremes_stay_in_unit_interval(self):
+        correction = OddsCorrection(0.01)
+        assert 0.0 <= correction.apply(0.0) <= 1.0
+        assert 0.0 <= correction.apply(1.0) <= 1.0
+
+    def test_degenerate_fraction_is_identity(self):
+        assert OddsCorrection(0.0).apply(0.42) == pytest.approx(0.42)
+        assert OddsCorrection(1.0).apply(0.42) == pytest.approx(0.42)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            OddsCorrection(1.5)
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            OddsCorrection(0.5, direction="sideways")

@@ -1,0 +1,72 @@
+"""Tests for the simulated clock and calendar helpers."""
+
+import pytest
+
+from repro.sim.clock import DAY, HOUR, SIM_EPOCH, SimClock, hour_of_day, is_workday, to_datetime
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(42.0).now == 42.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_to_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimClock(5.0)
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_to_rejects_backwards(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_advance_by_accumulates(self):
+        clock = SimClock()
+        clock.advance_by(3.0)
+        clock.advance_by(4.0)
+        assert clock.now == 7.0
+
+    def test_advance_by_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance_by(-0.1)
+
+    def test_datetime_matches_epoch(self):
+        assert SimClock().datetime() == SIM_EPOCH
+
+    def test_repr_mentions_time(self):
+        assert "now=" in repr(SimClock(1.5))
+
+
+class TestCalendar:
+    def test_epoch_is_2017_04_26(self):
+        assert (SIM_EPOCH.year, SIM_EPOCH.month, SIM_EPOCH.day) == (2017, 4, 26)
+
+    def test_epoch_is_a_wednesday_workday(self):
+        assert SIM_EPOCH.weekday() == 2
+        assert is_workday(0.0)
+
+    def test_weekend_detection(self):
+        # 2017-04-29 is a Saturday: 3 days after the epoch.
+        assert not is_workday(3 * DAY)
+        assert not is_workday(4 * DAY)
+        assert is_workday(5 * DAY)  # Monday 2017-05-01
+
+    def test_hour_of_day_wraps(self):
+        assert hour_of_day(0.0) == 0
+        assert hour_of_day(13 * HOUR) == 13
+        assert hour_of_day(DAY + 5 * HOUR) == 5
+
+    def test_to_datetime_roundtrip(self):
+        dt = to_datetime(2.5 * DAY)
+        assert (dt - SIM_EPOCH).total_seconds() == pytest.approx(2.5 * DAY)

@@ -1,0 +1,126 @@
+"""Tests for the event queue and simulation driver."""
+
+import pytest
+
+from repro.sim.events import EventQueue, Simulation
+
+
+class TestEventQueue:
+    def test_pop_returns_earliest(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None, "late")
+        queue.push(1.0, lambda: None, "early")
+        event = queue.pop()
+        assert event is not None and event.label == "early"
+
+    def test_fifo_among_equal_times(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, "first")
+        queue.push(1.0, lambda: None, "second")
+        assert queue.pop().label == "first"
+        assert queue.pop().label == "second"
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None, "cancelled")
+        queue.push(2.0, lambda: None, "kept")
+        event.cancel()
+        assert queue.pop().label == "kept"
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time_sees_through_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 3.0
+
+
+class TestSimulation:
+    def test_run_until_executes_due_events(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(5))
+        sim.schedule_at(15.0, lambda: fired.append(15))
+        executed = sim.run_until(10.0)
+        assert executed == 1
+        assert fired == [5]
+        assert sim.now == 10.0
+
+    def test_run_until_is_inclusive(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule_at(10.0, lambda: fired.append(10))
+        sim.run_until(10.0)
+        assert fired == [10]
+
+    def test_clock_is_event_time_during_callback(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule_at(7.0, lambda: seen.append(sim.now))
+        sim.run_until(20.0)
+        assert seen == [7.0]
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulation()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule_after(1.0, lambda: fired.append("second"))
+
+        sim.schedule_at(5.0, first)
+        sim.run_until(10.0)
+        assert fired == ["first", "second"]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulation()
+        sim.run_until(10.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation().schedule_after(-1.0, lambda: None)
+
+    def test_run_backwards_rejected(self):
+        sim = Simulation()
+        sim.run_until(10.0)
+        with pytest.raises(ValueError):
+            sim.run_until(5.0)
+
+    def test_run_all_drains_queue(self):
+        sim = Simulation()
+        fired = []
+        for t in (3.0, 1.0, 2.0):
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        assert sim.run_all() == 3
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_all_livelock_guard(self):
+        sim = Simulation()
+
+        def reschedule():
+            sim.schedule_after(1.0, reschedule)
+
+        sim.schedule_at(1.0, reschedule)
+        with pytest.raises(RuntimeError):
+            sim.run_all(limit=100)
+
+    def test_cancelled_event_not_executed(self):
+        sim = Simulation()
+        fired = []
+        event = sim.schedule_at(5.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run_until(10.0)
+        assert fired == []

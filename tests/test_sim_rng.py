@@ -1,0 +1,51 @@
+"""Tests for forkable random streams."""
+
+import numpy as np
+
+from repro.sim.rng import RngStream
+
+
+class TestRngStream:
+    def test_same_seed_same_draws(self):
+        a = RngStream(7).uniform(size=10)
+        b = RngStream(7).uniform(size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStream(7).uniform(size=10)
+        b = RngStream(8).uniform(size=10)
+        assert not np.array_equal(a, b)
+
+    def test_forks_are_independent_of_sibling_order(self):
+        # Drawing from one fork must not perturb another fork's stream.
+        root1 = RngStream(3)
+        fork_a1 = root1.fork("a")
+        _ = root1.fork("b").uniform(size=100)
+        draws1 = fork_a1.uniform(size=5)
+
+        root2 = RngStream(3)
+        draws2 = root2.fork("a").uniform(size=5)
+        np.testing.assert_array_equal(draws1, draws2)
+
+    def test_fork_names_give_distinct_streams(self):
+        root = RngStream(3)
+        a = root.fork("a").uniform(size=10)
+        b = root.fork("b").uniform(size=10)
+        assert not np.array_equal(a, b)
+
+    def test_nested_forks_are_stable(self):
+        a = RngStream(1).fork("x").fork("y").uniform(size=4)
+        b = RngStream(1).fork("x").fork("y").uniform(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_integers_within_bounds(self):
+        draws = RngStream(0).integers(0, 10, size=1000)
+        assert draws.min() >= 0 and draws.max() < 10
+
+    def test_choice_picks_from_options(self):
+        options = ["a", "b", "c"]
+        draws = RngStream(0).choice(options, size=50)
+        assert set(draws) <= set(options)
+
+    def test_repr_contains_key(self):
+        assert "market" in repr(RngStream(0).fork("market"))
