@@ -50,6 +50,7 @@ from repro.revpred.predictor import (
     PredictorBank,
 )
 from repro.revpred.trainer import RevPredTrainer, train_predictor_bank
+from repro.sweep import Scenario, ScenarioGrid, SweepCache, SweepResult, SweepRunner
 from repro.workloads.catalog import BENCHMARK_WORKLOADS, get_workload
 from repro.workloads.speed import SpeedModel
 from repro.workloads.trial import LiveTrainerSource, Trial, make_trials
@@ -84,6 +85,11 @@ __all__ = [
     "PredictorBank",
     "RevPredTrainer",
     "train_predictor_bank",
+    "Scenario",
+    "ScenarioGrid",
+    "SweepCache",
+    "SweepResult",
+    "SweepRunner",
     "BENCHMARK_WORKLOADS",
     "get_workload",
     "SpeedModel",

@@ -142,8 +142,18 @@ class ExperimentContext:
     def _run_cache(self) -> dict:
         return {}
 
-    def spottune_run(self, workload_name: str, theta: float, predictor_kind: str = "revpred"):
-        """Memoised SpotTune run for one (workload, theta, predictor)."""
+    def spottune_run(
+        self,
+        workload_name: str,
+        theta: float,
+        predictor_kind: str = "revpred",
+        checkpoint_policy: str = "notice",
+        reschedule_after: float = 3600.0,
+        refund_enabled: bool = True,
+    ):
+        """Memoised SpotTune run for one (workload, theta, predictor,
+        checkpoint policy, ablation knobs) cell."""
+        from repro.core.checkpoint_policy import policy_from_spec
         from repro.core.config import SpotTuneConfig
         from repro.core.orchestrator import SpotTuneOrchestrator
         from repro.workloads.catalog import get_workload
@@ -151,7 +161,17 @@ class ExperimentContext:
 
         from repro.revpred.predictor import ConstantPredictor, OraclePredictor
 
-        key = ("spottune", workload_name, round(theta, 3), predictor_kind)
+        # 6 decimals matches Scenario's theta normalisation — distinct
+        # sweep cells must never silently share one memoised run.
+        key = (
+            "spottune",
+            workload_name,
+            round(theta, 6),
+            predictor_kind,
+            checkpoint_policy,
+            reschedule_after,
+            refund_enabled,
+        )
         if key not in self._run_cache:
             if predictor_kind == "revpred":
                 predictor = self.cached_revpred()
@@ -169,10 +189,14 @@ class ExperimentContext:
                 make_trials(workload, seed=self.seed),
                 self.dataset,
                 predictor,
-                SpotTuneConfig(theta=theta, seed=self.seed),
+                SpotTuneConfig(
+                    theta=theta, seed=self.seed, reschedule_after=reschedule_after
+                ),
                 speed_model=self.speed_model,
                 start_time=self.replay_start,
+                checkpoint_policy=policy_from_spec(checkpoint_policy, predictor=predictor),
             )
+            orchestrator.provider.billing.refund_enabled = refund_enabled
             self._run_cache[key] = orchestrator.run()
         return self._run_cache[key]
 

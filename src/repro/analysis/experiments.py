@@ -16,7 +16,6 @@ from repro.analysis.context import ExperimentContext
 from repro.analysis.metrics import coefficient_of_variation, normalized_pcr, relative_saving
 from repro.cloud.instance import DEFAULT_INSTANCE_POOL, get_instance_type
 from repro.cloud.storage import CheckpointThroughputModel
-from repro.core.accounting import RunResult
 from repro.core.baselines import CHEAPEST_INSTANCE, FASTEST_INSTANCE
 from repro.earlycurve.model import StagedCurveModel
 from repro.earlycurve.slaq import SlaqCurveModel
@@ -29,6 +28,8 @@ from repro.revpred.logistic import LogisticBaseline
 from repro.revpred.trainer import RevPredTrainer
 from repro.sim.clock import DAY
 from repro.sim.rng import RngStream
+from repro.sweep.runner import SweepResult, SweepRunner
+from repro.sweep.scenario import ScenarioGrid
 from repro.workloads.catalog import BENCHMARK_WORKLOADS, get_workload
 from repro.workloads.curves import make_curve
 
@@ -40,17 +41,20 @@ APPROACHES = (
 )
 
 
-def _run_spottune(
-    context: ExperimentContext,
-    workload_name: str,
-    theta: float,
-    predictor_kind: str = "revpred",
-) -> RunResult:
-    return context.spottune_run(workload_name, theta, predictor_kind)
+def _sweep(
+    context: ExperimentContext, spec: dict, runner: SweepRunner | None = None
+) -> SweepResult:
+    """Execute a declarative grid for one figure.
 
-
-def _run_baseline(context: ExperimentContext, workload_name: str, instance: str) -> RunResult:
-    return context.baseline_run(workload_name, instance)
+    The default runner executes in-process against the shared
+    experiment context, so a figure's cells land in the context's
+    memoised run cache exactly as the hand-rolled loops did (Fig. 7's
+    theta=0.7 rows stay Fig. 9's and Fig. 12's inputs).  Callers can
+    pass a pooled or caching :class:`SweepRunner` instead.
+    """
+    grid = ScenarioGrid.from_spec({"seed": context.seed, "scale": context.scale, **spec})
+    runner = runner if runner is not None else SweepRunner(context=context)
+    return runner.run(grid)
 
 
 # ----------------------------------------------------------------------
@@ -244,23 +248,51 @@ def fig7_cost_jct_pcr(
     context: ExperimentContext,
     workloads: tuple[str, ...] | None = None,
     predictor_kind: str = "revpred",
+    runner: SweepRunner | None = None,
 ) -> Fig7Result:
     """Cost, JCT, and normalised PCR for the four approaches."""
     workloads = workloads if workloads is not None else tuple(BENCHMARK_WORKLOADS)
+    sweep = _sweep(
+        context,
+        {
+            "grids": [
+                {
+                    "approach": "spottune",
+                    "workload": list(workloads),
+                    "theta": [0.7, 1.0],
+                    "predictor": predictor_kind,
+                },
+                {
+                    "approach": "single_spot",
+                    "workload": list(workloads),
+                    "instance": [CHEAPEST_INSTANCE, FASTEST_INSTANCE],
+                },
+            ]
+        },
+        runner,
+    )
     cost: dict[str, dict[str, float]] = {}
     jct: dict[str, dict[str, float]] = {}
     pcr: dict[str, dict[str, float]] = {}
     for name in workloads:
-        runs = {
-            "SpotTune(theta=0.7)": _run_spottune(context, name, theta=0.7, predictor_kind=predictor_kind),
-            "SpotTune(theta=1.0)": _run_spottune(context, name, theta=1.0, predictor_kind=predictor_kind),
-            "Single-Spot Tune (Cheapest)": _run_baseline(context, name, CHEAPEST_INSTANCE),
-            "Single-Spot Tune (Fastest)": _run_baseline(context, name, FASTEST_INSTANCE),
+        summaries = {
+            "SpotTune(theta=0.7)": sweep.one(
+                workload=name, approach="spottune", theta=0.7
+            ).summary,
+            "SpotTune(theta=1.0)": sweep.one(
+                workload=name, approach="spottune", theta=1.0
+            ).summary,
+            "Single-Spot Tune (Cheapest)": sweep.one(
+                workload=name, instance=CHEAPEST_INSTANCE
+            ).summary,
+            "Single-Spot Tune (Fastest)": sweep.one(
+                workload=name, instance=FASTEST_INSTANCE
+            ).summary,
         }
-        cost[name] = {a: run.total_paid for a, run in runs.items()}
-        jct[name] = {a: run.jct / HOUR for a, run in runs.items()}
+        cost[name] = {a: s["cost"] for a, s in summaries.items()}
+        jct[name] = {a: s["jct_hours"] for a, s in summaries.items()}
         pcr[name] = normalized_pcr(
-            {a: (run.jct / HOUR, run.total_paid) for a, run in runs.items()},
+            {a: (s["jct_hours"], s["cost"]) for a, s in summaries.items()},
             reference="SpotTune(theta=0.7)",
         )
     return Fig7Result(cost=cost, jct_hours=jct, pcr=pcr)
@@ -299,24 +331,31 @@ def fig8_theta_sensitivity(
     thetas: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
     workloads: tuple[str, ...] | None = None,
     predictor_kind: str = "revpred",
+    runner: SweepRunner | None = None,
 ) -> Fig8Result:
     """Cost, JCT, and selection accuracy as theta sweeps 0.1..1.0."""
     workloads = workloads if workloads is not None else tuple(BENCHMARK_WORKLOADS)
+    sweep = _sweep(
+        context,
+        {
+            "approach": "spottune",
+            "workload": list(workloads),
+            "theta": list(thetas),
+            "predictor": predictor_kind,
+        },
+        runner,
+    )
     cost = {name: [] for name in workloads}
     jct = {name: [] for name in workloads}
     top1, top3 = [], []
     for theta in thetas:
         hits1, hits3 = [], []
         for name in workloads:
-            result = _run_spottune(context, name, theta=theta, predictor_kind=predictor_kind)
-            cost[name].append(result.total_paid)
-            jct[name].append(result.jct / HOUR)
-            truth = {
-                trial_id: record.true_final
-                for trial_id, record in result.jobs.items()
-            }
-            hits1.append(result.top_k_hit(truth, 1))
-            hits3.append(result.top_k_hit(truth, 3))
+            summary = sweep.one(workload=name, theta=round(float(theta), 6)).summary
+            cost[name].append(summary["cost"])
+            jct[name].append(summary["jct_hours"])
+            hits1.append(summary["top1_hit"])
+            hits3.append(summary["top3_hit"])
         top1.append(float(np.mean(hits1)))
         top3.append(float(np.mean(hits3)))
     return Fig8Result(
@@ -351,14 +390,25 @@ def fig9_refund_contribution(
     context: ExperimentContext,
     workloads: tuple[str, ...] | None = None,
     predictor_kind: str = "revpred",
+    runner: SweepRunner | None = None,
 ) -> Fig9Result:
     """Free vs charged steps and refund value share at theta = 0.7."""
     workloads = workloads if workloads is not None else tuple(BENCHMARK_WORKLOADS)
+    sweep = _sweep(
+        context,
+        {
+            "approach": "spottune",
+            "workload": list(workloads),
+            "theta": 0.7,
+            "predictor": predictor_kind,
+        },
+        runner,
+    )
     free, refund = {}, {}
     for name in workloads:
-        result = _run_spottune(context, name, theta=0.7, predictor_kind=predictor_kind)
-        free[name] = result.free_step_fraction
-        refund[name] = result.refund_fraction
+        summary = sweep.one(workload=name).summary
+        free[name] = summary["free_step_fraction"]
+        refund[name] = summary["refund_fraction"]
     return Fig9Result(free_step_fraction=free, refund_fraction=refund)
 
 
@@ -495,25 +545,34 @@ class Fig10cResult:
 
 
 def fig10c_predictor_effect(
-    context: ExperimentContext, workloads: tuple[str, ...] | None = None
+    context: ExperimentContext,
+    workloads: tuple[str, ...] | None = None,
+    runner: SweepRunner | None = None,
 ) -> Fig10cResult:
     """SpotTune(0.7) with RevPred vs with the Tributary predictor."""
     workloads = workloads if workloads is not None else tuple(BENCHMARK_WORKLOADS)
+    sweep = _sweep(
+        context,
+        {
+            "approach": "spottune",
+            "workload": list(workloads),
+            "theta": 0.7,
+            "predictor": ["revpred", "tributary"],
+        },
+        runner,
+    )
     cost, pcr = {}, {}
     for name in workloads:
-        revpred_run = _run_spottune(context, name, theta=0.7)
-        tributary_run = _run_spottune(context, name, theta=0.7, predictor_kind="tributary")
+        revpred = sweep.one(workload=name, predictor="revpred").summary
+        tributary = sweep.one(workload=name, predictor="tributary").summary
         cost[name] = {
-            "RevPred": revpred_run.total_paid,
-            "Tributary Predict": tributary_run.total_paid,
+            "RevPred": revpred["cost"],
+            "Tributary Predict": tributary["cost"],
         }
         pcr[name] = normalized_pcr(
             {
-                "RevPred": (revpred_run.jct / HOUR, revpred_run.total_paid),
-                "Tributary Predict": (
-                    tributary_run.jct / HOUR,
-                    tributary_run.total_paid,
-                ),
+                "RevPred": (revpred["jct_hours"], revpred["cost"]),
+                "Tributary Predict": (tributary["jct_hours"], tributary["cost"]),
             },
             reference="RevPred",
         )
@@ -619,14 +678,24 @@ def fig12_checkpoint_overhead(
     context: ExperimentContext,
     workloads: tuple[str, ...] | None = None,
     predictor_kind: str = "revpred",
+    runner: SweepRunner | None = None,
 ) -> Fig12Result:
     """Checkpoint-restore share of wall time per workload, plus the
     §IV-F throughput calibration points."""
     workloads = workloads if workloads is not None else tuple(BENCHMARK_WORKLOADS)
+    sweep = _sweep(
+        context,
+        {
+            "approach": "spottune",
+            "workload": list(workloads),
+            "theta": 0.7,
+            "predictor": predictor_kind,
+        },
+        runner,
+    )
     overhead = {}
     for name in workloads:
-        result = _run_spottune(context, name, theta=0.7, predictor_kind=predictor_kind)
-        overhead[name] = result.overhead_fraction
+        overhead[name] = sweep.one(workload=name).summary["overhead_fraction"]
     model = CheckpointThroughputModel()
     throughput, max_model = {}, {}
     for instance_name in ("t2.micro", "m4.4xlarge"):

@@ -7,13 +7,19 @@ Commands:
 * ``tune --workload LoR [--theta 0.7] [--predictor oracle|revpred]`` —
   run one SpotTune HPT simulation and print its accounting;
 * ``trace --instance r3.xlarge [--days 12] [--out prices.csv]`` —
-  generate and optionally export a synthetic spot-price dataset.
+  generate and optionally export a synthetic spot-price dataset;
+* ``sweep [--spec grid.json] [--jobs N] [--resume]`` — run a
+  declarative scenario grid through the parallel sweep engine, with a
+  fingerprint-keyed result cache (see README.md for the spec format).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
+from pathlib import Path
 
 from repro.analysis.context import build_context
 from repro.analysis.reporting import format_table
@@ -116,6 +122,64 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The demo grid `repro sweep` runs when no --spec file is given:
+#: SpotTune at two thetas on two workloads over two market regimes
+#: (seeds draw independent synthetic price histories) — eight cells
+#: spanning every pool-parallel axis.
+DEFAULT_SWEEP_SPEC = {
+    "seed": [0, 1],
+    "grids": [
+        {
+            "approach": "spottune",
+            "workload": ["LoR", "LiR"],
+            "theta": [0.7, 1.0],
+            "predictor": "oracle",
+        },
+    ],
+}
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import ScenarioGrid, SweepRunner, cells_table, summary_columns
+
+    if args.spec:
+        try:
+            spec = json.loads(Path(args.spec).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot read sweep spec {args.spec!r}: {error}", file=sys.stderr)
+            return 2
+    else:
+        spec = dict(DEFAULT_SWEEP_SPEC)
+    # CLI-level seed/scale act as defaults; the spec wins when it
+    # names them itself.
+    spec.setdefault("seed", args.seed)
+    spec.setdefault("scale", args.scale)
+    try:
+        grid = ScenarioGrid.from_spec(spec)
+    except (TypeError, ValueError) as error:
+        print(f"invalid sweep spec: {error}", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else args.cache_dir
+    try:
+        runner = SweepRunner(jobs=args.jobs, cache=cache, resume=args.resume)
+    except ValueError as error:
+        print(f"invalid sweep options: {error}", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    result = runner.run(grid)
+    elapsed = time.perf_counter() - started
+    print(format_table(
+        summary_columns(), cells_table(result),
+        title=f"== sweep: {len(result)} cells ==",
+    ))
+    where = str(runner.cache.root) if runner.cache is not None else "disabled"
+    print(
+        f"\nexecuted {result.executed_count} cell(s), {result.cached_count} from "
+        f"cache; jobs={args.jobs}, {elapsed:.1f}s wall; cache: {where}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SpotTune reproduction command-line interface"
@@ -141,6 +205,22 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--days", type=float, default=12.0)
     trace.add_argument("--out", help="CSV output path")
     trace.set_defaults(func=_run_trace)
+
+    sweep = sub.add_parser("sweep", help="run a declarative scenario grid")
+    sweep.add_argument("--spec", help="JSON grid spec file (default: built-in demo grid)")
+    sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep.add_argument(
+        "--cache-dir", default=".repro-sweep-cache",
+        help="result cache directory (default: %(default)s)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true", help="do not read or write the result cache"
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="reuse cached cell results instead of re-simulating",
+    )
+    sweep.set_defaults(func=_run_sweep)
     return parser
 
 

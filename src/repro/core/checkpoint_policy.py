@@ -93,3 +93,61 @@ class PredictionBasedPolicy(CheckpointPolicy):
             context.vm_instance, context.now, context.vm_max_price
         )
         return risk >= self.threshold
+
+
+def _parse_policy_spec(spec: str) -> tuple[str, list[float]]:
+    """Split and validate a policy spec string; returns (name, args)."""
+    name, _, rest = spec.partition(":")
+    raw_args = [part for part in rest.split(":") if part] if rest else []
+    try:
+        args = [float(part) for part in raw_args]
+    except ValueError:
+        args = None
+    max_args = {"notice": 0, "notice-only": 0, "periodic": 1, "prediction": 2}
+    if args is None or name not in max_args or len(args) > max_args[name]:
+        raise ValueError(
+            f"unknown checkpoint policy spec {spec!r}; expected 'notice', "
+            f"'periodic[:interval]', or 'prediction[:threshold[:min_interval]]'"
+        )
+    return name, args
+
+
+def validate_policy_spec(spec: str) -> None:
+    """Raise ``ValueError`` if ``spec`` is not a valid policy spec.
+
+    Lets scenario grids reject a typo'd policy (or out-of-range
+    arguments) at construction time, before any simulation has run.
+    Runs the spec through the real policy constructors — with a dummy
+    predictor for prediction-based specs — so the same value checks
+    apply here as at run time.
+    """
+    from repro.revpred.predictor import ConstantPredictor
+
+    policy_from_spec(spec, predictor=ConstantPredictor(0.0))
+
+
+def policy_from_spec(spec: str, predictor: RevocationPredictor | None = None) -> CheckpointPolicy:
+    """Build a policy from its compact string spec.
+
+    Scenario grids and the CLI name policies as strings so they stay
+    JSON-serialisable and fingerprintable:
+
+    * ``"notice"`` (or ``"notice-only"``) — :class:`NoticeOnlyPolicy`;
+    * ``"periodic:900"`` — :class:`PeriodicPolicy` every 900 s
+      (``"periodic"`` alone uses the default interval);
+    * ``"prediction:0.5:300"`` — :class:`PredictionBasedPolicy` with
+      threshold 0.5 and min interval 300 s (needs ``predictor``).
+    """
+    name, args = _parse_policy_spec(spec)
+    if name in ("notice", "notice-only"):
+        return NoticeOnlyPolicy()
+    if name == "periodic":
+        return PeriodicPolicy(interval=args[0]) if args else PeriodicPolicy()
+    if predictor is None:
+        raise ValueError(f"policy spec {spec!r} needs a revocation predictor")
+    kwargs = {}
+    if args:
+        kwargs["threshold"] = args[0]
+    if len(args) == 2:
+        kwargs["min_interval"] = args[1]
+    return PredictionBasedPolicy(predictor=predictor, **kwargs)

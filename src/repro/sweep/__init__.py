@@ -1,0 +1,39 @@
+"""Parallel scenario sweeps with deterministic replay.
+
+The paper's evaluation (§IV) is a grid of scenarios — workloads ×
+market traces × theta values × checkpoint policies — and every figure
+is an aggregation over some slice of that grid.  This package makes
+the grid the first-class object:
+
+* :mod:`repro.sweep.scenario` — one :class:`Scenario` per grid cell,
+  plus the declarative :class:`ScenarioGrid` cartesian product;
+* :mod:`repro.sweep.runner` — the :class:`SweepRunner` that fans
+  cells out over a process pool (or runs them in-process against a
+  shared :class:`~repro.analysis.context.ExperimentContext`);
+* :mod:`repro.sweep.cache` — the fingerprint-keyed on-disk result
+  cache that makes ``--resume`` skip completed cells;
+* :mod:`repro.sweep.aggregate` — row/table shaping for the CLI and
+  the figure runners.
+
+Determinism contract: a cell's summary depends only on its
+:class:`Scenario` fields.  The same cell run serially, through the
+pool, or replayed from cache yields byte-identical canonical JSON.
+"""
+
+from repro.sweep.aggregate import cells_table, summary_columns
+from repro.sweep.cache import SweepCache, canonical_json
+from repro.sweep.runner import CellResult, SweepResult, SweepRunner, run_scenario
+from repro.sweep.scenario import Scenario, ScenarioGrid
+
+__all__ = [
+    "CellResult",
+    "Scenario",
+    "ScenarioGrid",
+    "SweepCache",
+    "SweepResult",
+    "SweepRunner",
+    "canonical_json",
+    "cells_table",
+    "run_scenario",
+    "summary_columns",
+]

@@ -1,0 +1,70 @@
+"""On-disk result cache keyed by scenario fingerprint.
+
+One JSON file per completed cell, written atomically and serialised
+canonically (sorted keys, no whitespace), so the same cell always
+produces byte-identical files — the determinism regression tests
+compare these bytes directly, and ``--resume`` loads them instead of
+re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.sweep.scenario import SCHEMA_VERSION, Scenario
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, compact separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class SweepCache:
+    """Fingerprint-keyed store of cell summaries under one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, scenario: Scenario) -> Path:
+        return self.root / f"{scenario.fingerprint()}.json"
+
+    def load(self, scenario: Scenario) -> Optional[dict]:
+        """The cached summary for ``scenario``, or ``None``.
+
+        Entries from a different schema version, or whose recorded
+        scenario does not match (a fingerprint collision or a stale
+        hand-edited file), are ignored rather than trusted.
+        """
+        path = self.path_for(scenario)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("schema") != SCHEMA_VERSION:
+            return None
+        if payload.get("scenario") != scenario.to_dict():
+            return None
+        return payload.get("summary")
+
+    def store(self, scenario: Scenario, summary: dict) -> Path:
+        """Atomically persist one cell's summary."""
+        path = self.path_for(scenario)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": scenario.fingerprint(),
+            "scenario": scenario.to_dict(),
+            "summary": summary,
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(canonical_json(payload))
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

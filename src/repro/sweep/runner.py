@@ -1,0 +1,273 @@
+"""The sweep engine: fan scenarios out, summarise, cache, aggregate.
+
+``run_scenario`` is the single code path that turns a
+:class:`~repro.sweep.scenario.Scenario` into a plain-data summary
+dict, whichever way it is invoked — serially against a shared
+:class:`~repro.analysis.context.ExperimentContext`, inside a worker
+process of the :class:`SweepRunner` pool, or replayed one cell at a
+time with :meth:`SweepRunner.run_one`.  Summaries contain only JSON
+scalars/lists, so the three paths produce byte-identical canonical
+JSON for the same cell.
+
+Worker processes build their own experiment context lazily and memoise
+it per ``(seed, scale)`` — context construction is deterministic in
+the seed, so a pool run reproduces the serial results exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.market.trace import HOUR
+from repro.sweep.cache import SweepCache
+from repro.sweep.scenario import Scenario, ScenarioGrid
+
+#: Per-process memo of experiment contexts, keyed by (seed, scale).
+#: Worker processes populate their own copy on first use.
+_CONTEXT_CACHE: dict = {}
+
+#: Contexts hold a full multi-market price dataset (and possibly
+#: trained predictor banks), so a long-lived process sweeping many
+#: seeds must not retain them all; least-recently-used ones go first.
+_MAX_CACHED_CONTEXTS = 8
+
+
+def _context_for(seed: int, scale: str, context=None):
+    """The process-local context for ``(seed, scale)``.
+
+    A caller-supplied context is used (and memoised) when it matches,
+    so figure runners can share their prebuilt context — and its
+    memoised runs — with the sweep.
+    """
+    key = (int(seed), scale)
+    if context is not None and (context.seed, context.scale) == key:
+        _CONTEXT_CACHE.setdefault(key, context)
+        return context
+    if key not in _CONTEXT_CACHE:
+        from repro.analysis.context import build_context
+
+        _CONTEXT_CACHE[key] = build_context(seed=int(seed), scale=scale)
+    _CONTEXT_CACHE[key] = _CONTEXT_CACHE.pop(key)  # mark most recent
+    while len(_CONTEXT_CACHE) > _MAX_CACHED_CONTEXTS:
+        _CONTEXT_CACHE.pop(next(iter(_CONTEXT_CACHE)))
+    return _CONTEXT_CACHE[key]
+
+
+def summarize_run(result) -> dict:
+    """Flatten a :class:`~repro.core.accounting.RunResult` into JSON
+    scalars — the cacheable, order-independent cell summary."""
+    truth = {
+        trial_id: record.true_final for trial_id, record in result.jobs.items()
+    }
+    have_truth = truth and all(value is not None for value in truth.values())
+    return {
+        "workload": result.workload_name,
+        "theta": float(result.theta),
+        "cost": float(result.total_paid),
+        "refunded": float(result.total_refunded),
+        "jct_hours": float(result.jct / HOUR),
+        "free_step_fraction": float(result.free_step_fraction),
+        "refund_fraction": float(result.refund_fraction),
+        "overhead_fraction": float(result.overhead_fraction),
+        "num_jobs": len(result.jobs),
+        "steps_completed": float(
+            sum(job.steps_completed for job in result.jobs.values())
+        ),
+        "lost_steps": float(sum(job.lost_steps for job in result.jobs.values())),
+        "failed_checkpoints": int(
+            sum(job.failed_checkpoints for job in result.jobs.values())
+        ),
+        "selected": [str(trial_id) for trial_id in result.selected],
+        "top1_hit": bool(result.top_k_hit(truth, 1)) if have_truth else None,
+        "top3_hit": bool(result.top_k_hit(truth, 3)) if have_truth else None,
+    }
+
+
+def run_scenario(scenario: Scenario, context=None) -> dict:
+    """Simulate one grid cell and return its summary dict."""
+    ctx = _context_for(scenario.seed, scenario.scale, context)
+    if scenario.approach == "spottune":
+        result = ctx.spottune_run(
+            scenario.workload,
+            scenario.theta,
+            scenario.predictor,
+            checkpoint_policy=scenario.checkpoint_policy,
+            reschedule_after=scenario.reschedule_after,
+            refund_enabled=scenario.refund_enabled,
+        )
+    else:
+        result = ctx.baseline_run(scenario.workload, scenario.instance)
+    return summarize_run(result)
+
+
+def _pool_run_shard(scenario_dicts: list[dict]) -> list[tuple[str, dict]]:
+    """Pool worker entry point: run one shard of cells, tag by id.
+
+    A shard holds cells of a single ``(seed, scale)``, so the worker
+    builds at most one experiment context per task.
+    """
+    results = []
+    for scenario_dict in scenario_dicts:
+        scenario = Scenario.from_dict(scenario_dict)
+        results.append((scenario.fingerprint(), run_scenario(scenario)))
+    return results
+
+
+@dataclass
+class CellResult:
+    """One completed grid cell."""
+
+    scenario: Scenario
+    summary: dict
+    cached: bool = False
+
+
+class SweepResult:
+    """Ordered cell results with small query/aggregation helpers."""
+
+    def __init__(self, cells: Iterable[CellResult]) -> None:
+        self.cells: list[CellResult] = list(cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    @property
+    def executed_count(self) -> int:
+        return sum(1 for cell in self.cells if not cell.cached)
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for cell in self.cells if cell.cached)
+
+    def select(self, **matchers) -> list[CellResult]:
+        """Cells whose scenario fields equal every given matcher."""
+        return [
+            cell
+            for cell in self.cells
+            if all(getattr(cell.scenario, k) == v for k, v in matchers.items())
+        ]
+
+    def one(self, **matchers) -> CellResult:
+        """The unique cell matching the filters; raises otherwise."""
+        matches = self.select(**matchers)
+        if len(matches) != 1:
+            raise KeyError(
+                f"expected exactly one cell for {matchers}, found {len(matches)}"
+            )
+        return matches[0]
+
+    def summaries(self) -> list[dict]:
+        return [cell.summary for cell in self.cells]
+
+
+class SweepRunner:
+    """Executes a :class:`ScenarioGrid`.
+
+    Args:
+        jobs: Worker processes; 1 runs everything in-process.
+        cache: Result-cache directory (or a :class:`SweepCache`).
+            Fresh results are always written when a cache is set.
+        resume: Reuse cached summaries instead of re-simulating.
+        context: Optional prebuilt experiment context shared with the
+            in-process path (ignored by pool workers, which build
+            their own).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Union[str, Path, SweepCache, None] = None,
+        resume: bool = False,
+        context=None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1: {jobs}")
+        self.jobs = jobs
+        self.cache = (
+            cache if isinstance(cache, SweepCache) or cache is None else SweepCache(cache)
+        )
+        self.resume = resume
+        self._context = context
+
+    # ------------------------------------------------------------------
+    def run_one(self, scenario: Scenario) -> CellResult:
+        """Deterministic in-process replay of a single cell."""
+        return CellResult(scenario, run_scenario(scenario, self._context))
+
+    def run(self, grid: Union[ScenarioGrid, Iterable[Scenario]]) -> SweepResult:
+        scenarios = list(grid)
+        done: dict[str, CellResult] = {}
+        pending: list[Scenario] = []
+        for scenario in scenarios:
+            if self.resume and self.cache is not None:
+                summary = self.cache.load(scenario)
+                if summary is not None:
+                    done[scenario.fingerprint()] = CellResult(
+                        scenario, summary, cached=True
+                    )
+                    continue
+            pending.append(scenario)
+
+        if len(pending) > 1 and self.jobs > 1:
+            fresh = self._run_pool(pending)
+        else:
+            fresh = {
+                s.fingerprint(): CellResult(s, run_scenario(s, self._context))
+                for s in pending
+            }
+        if self.cache is not None:
+            for cell in fresh.values():
+                self.cache.store(cell.scenario, cell.summary)
+        done.update(fresh)
+        return SweepResult(done[s.fingerprint()] for s in scenarios)
+
+    # ------------------------------------------------------------------
+    def _shards(self, pending: list[Scenario]) -> list[list[Scenario]]:
+        """Split cells into pool tasks, one ``(seed, scale)`` each.
+
+        Building an experiment context (regenerating every market's
+        price history) dominates small cells, so cells sharing a
+        context stick together; buckets larger than an even ``jobs``-
+        way split are subdivided to keep all workers busy.
+        """
+        buckets: dict[tuple[int, str], list[Scenario]] = {}
+        for scenario in pending:
+            buckets.setdefault((scenario.seed, scenario.scale), []).append(scenario)
+        target = max(1, math.ceil(len(pending) / self.jobs))
+        shards = []
+        for bucket in buckets.values():
+            for start in range(0, len(bucket), target):
+                shards.append(bucket[start : start + target])
+        return shards
+
+    def _run_pool(self, pending: list[Scenario]) -> dict[str, CellResult]:
+        # Prefer fork where available: workers inherit any context the
+        # parent already built (dataset, trained banks) copy-on-write.
+        # Contexts the parent never built are constructed inside the
+        # workers, so distinct seeds build their markets concurrently.
+        if self._context is not None:
+            _CONTEXT_CACHE.setdefault(
+                (self._context.seed, self._context.scale), self._context
+            )
+        methods = multiprocessing.get_all_start_methods()
+        mp = multiprocessing.get_context("fork" if "fork" in methods else None)
+        by_fingerprint = {s.fingerprint(): s for s in pending}
+        shards = self._shards(pending)
+        fresh: dict[str, CellResult] = {}
+        with mp.Pool(processes=min(self.jobs, len(shards))) as pool:
+            results = pool.imap_unordered(
+                _pool_run_shard,
+                [[s.to_dict() for s in shard] for shard in shards],
+                chunksize=1,
+            )
+            for shard_results in results:
+                for fingerprint, summary in shard_results:
+                    fresh[fingerprint] = CellResult(by_fingerprint[fingerprint], summary)
+        return fresh

@@ -8,6 +8,7 @@ from repro.core.checkpoint_policy import (
     PeriodicPolicy,
     PolicyContext,
     PredictionBasedPolicy,
+    policy_from_spec,
 )
 from repro.core.config import SpotTuneConfig
 from repro.core.orchestrator import SpotTuneOrchestrator
@@ -161,3 +162,46 @@ class TestNoticeDeadline:
     def test_normal_models_never_fail_checkpoints(self, dataset):
         result = self.run(dataset, get_workload("LiR"))
         assert all(job.failed_checkpoints == 0 for job in result.jobs.values())
+
+
+class TestPolicyFromSpec:
+    def test_notice_spellings(self):
+        assert isinstance(policy_from_spec("notice"), NoticeOnlyPolicy)
+        assert isinstance(policy_from_spec("notice-only"), NoticeOnlyPolicy)
+
+    def test_periodic_with_interval(self):
+        policy = policy_from_spec("periodic:600")
+        assert isinstance(policy, PeriodicPolicy)
+        assert policy.interval == 600.0
+
+    def test_periodic_default_interval(self):
+        assert policy_from_spec("periodic").interval == PeriodicPolicy().interval
+
+    def test_prediction_with_arguments(self):
+        predictor = ConstantPredictor(0.9)
+        policy = policy_from_spec("prediction:0.4:120", predictor=predictor)
+        assert isinstance(policy, PredictionBasedPolicy)
+        assert policy.threshold == 0.4
+        assert policy.min_interval == 120.0
+        assert policy.predictor is predictor
+
+    def test_prediction_needs_predictor(self):
+        with pytest.raises(ValueError, match="predictor"):
+            policy_from_spec("prediction:0.4")
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError, match="unknown checkpoint policy"):
+            policy_from_spec("hourly")
+
+    def test_extra_arguments_rejected(self):
+        with pytest.raises(ValueError, match="unknown checkpoint policy"):
+            policy_from_spec("periodic:600:900")
+
+    def test_value_ranges_validated_up_front(self):
+        from repro.core.checkpoint_policy import validate_policy_spec
+
+        with pytest.raises(ValueError):
+            validate_policy_spec("periodic:-5")
+        with pytest.raises(ValueError):
+            validate_policy_spec("prediction:1.5")
+        validate_policy_spec("prediction:0.5:300")  # valid without a predictor

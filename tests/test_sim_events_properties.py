@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for the event queue invariants.
+
+The sweep engine replays thousands of simulations; these properties
+pin the event-ordering contract every run depends on: pops are
+non-decreasing in time, FIFO among equal timestamps, and cancelled
+events never fire — including the VM-terminated-before-revocation
+interleaving the orchestrator relies on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue, Simulation
+
+#: Small time domain so equal timestamps are common.
+event_times = st.lists(
+    st.integers(min_value=0, max_value=5).map(float), min_size=1, max_size=30
+)
+
+
+def drain(queue: EventQueue) -> list:
+    popped = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            return popped
+        popped.append(event)
+
+
+class TestQueueOrdering:
+    @given(event_times)
+    @settings(max_examples=100, deadline=None)
+    def test_pops_are_stable_sorted_by_time(self, times):
+        queue = EventQueue()
+        for index, time in enumerate(times):
+            queue.push(time, lambda: None, label=str(index))
+        popped = drain(queue)
+        # Non-decreasing in time...
+        assert all(a.time <= b.time for a, b in zip(popped, popped[1:]))
+        # ...and FIFO among equal timestamps: the pop order is exactly
+        # the stable sort of the push order by time.
+        expected = [
+            str(i) for i, _ in sorted(enumerate(times), key=lambda pair: pair[1])
+        ]
+        assert [event.label for event in popped] == expected
+
+    @given(event_times, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_cancelled_events_never_pop(self, times, data):
+        queue = EventQueue()
+        events = [queue.push(t, lambda: None, label=str(i)) for i, t in enumerate(times)]
+        cancelled = {
+            event.label
+            for event in events
+            if data.draw(st.booleans(), label=f"cancel {event.label}")
+        }
+        for event in events:
+            if event.label in cancelled:
+                event.cancel()
+        popped = {event.label for event in drain(queue)}
+        assert popped == {str(i) for i in range(len(times))} - cancelled
+        assert len(queue) == 0
+
+
+class TestSimulationCancellation:
+    @given(event_times, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_cancelled_callbacks_never_fire(self, times, data):
+        sim = Simulation()
+        fired = []
+        events = [
+            sim.schedule_at(t, lambda i=i: fired.append(str(i)), label=str(i))
+            for i, t in enumerate(times)
+        ]
+        live = []
+        for event in events:
+            if data.draw(st.booleans(), label=f"cancel {event.label}"):
+                event.cancel()
+            else:
+                live.append(event)
+        sim.run_all()
+        expected = [
+            event.label
+            for event in sorted(live, key=lambda event: (event.time, event.seq))
+        ]
+        assert fired == expected
+
+    @given(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_vm_terminate_before_revocation_interleaving(self, revoke_at, terminate_at):
+        """A user-terminated VM withdraws its pending revocation.
+
+        The revocation event is scheduled first (so at equal times it
+        wins the FIFO race, as in the real provider); whenever the
+        terminate handler runs first, the revocation must never fire.
+        """
+        sim = Simulation()
+        fired = []
+        revocation = sim.schedule_at(
+            revoke_at, lambda: fired.append("revoked"), label="revocation"
+        )
+
+        def terminate():
+            fired.append("terminated")
+            revocation.cancel()
+
+        sim.schedule_at(terminate_at, terminate, label="terminate")
+        sim.run_all()
+
+        if revoke_at <= terminate_at:  # FIFO: revocation was pushed first
+            assert fired == ["revoked", "terminated"]
+        else:
+            assert fired == ["terminated"]

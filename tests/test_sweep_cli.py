@@ -1,0 +1,119 @@
+"""End-to-end smoke tests for the ``repro sweep`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    spec = {
+        "seed": 0,
+        "workload": "LiR",
+        "theta": [0.7, 1.0],
+        "predictor": ["oracle", "constant"],
+    }
+    path = tmp_path / "grid.json"
+    path.write_text(json.dumps(spec))
+    return path
+
+
+class TestParser:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.jobs == 1
+        assert args.resume is False
+        assert args.cache_dir == ".repro-sweep-cache"
+
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "--spec", "g.json", "--jobs", "4", "--resume", "--cache-dir", "c"]
+        )
+        assert args.spec == "g.json"
+        assert args.jobs == 4
+        assert args.resume is True
+        assert args.cache_dir == "c"
+
+
+class TestSweepCommand:
+    def test_tiny_grid_end_to_end(self, tmp_path, spec_path, capsys):
+        cache_dir = tmp_path / "cells"
+        assert (
+            main(
+                ["sweep", "--spec", str(spec_path), "--cache-dir", str(cache_dir)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # One cache file and one aggregate-table row per grid cell.
+        assert len(list(cache_dir.glob("*.json"))) == 4
+        table_rows = [line for line in out.splitlines() if line.startswith("LiR")]
+        assert len(table_rows) == 4
+        assert "executed 4 cell(s), 0 from cache" in out
+
+    def test_resume_runs_zero_simulations(self, tmp_path, spec_path, capsys):
+        cache_dir = tmp_path / "cells"
+        main(["sweep", "--spec", str(spec_path), "--cache-dir", str(cache_dir)])
+        first = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("LiR")
+        ]
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec",
+                    str(spec_path),
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "executed 0 cell(s), 4 from cache" in out
+        resumed = [line for line in out.splitlines() if line.startswith("LiR")]
+        assert resumed == first
+
+    def test_no_cache_leaves_no_directory(self, tmp_path, spec_path, capsys):
+        cache_dir = tmp_path / "cells"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec",
+                    str(spec_path),
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        assert not cache_dir.exists()
+        assert "cache: disabled" in capsys.readouterr().out
+
+    def test_missing_spec_file_rejected(self, tmp_path, capsys):
+        assert main(["sweep", "--spec", str(tmp_path / "absent.json")]) == 2
+        assert "cannot read sweep spec" in capsys.readouterr().err
+
+    def test_invalid_spec_rejected(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"workload": "LiR", "gpu_count": [1, 2]}))
+        assert main(["sweep", "--spec", str(path), "--no-cache"]) == 2
+        assert "invalid sweep spec" in capsys.readouterr().err
+
+    def test_typoed_policy_rejected_before_any_simulation(self, tmp_path, capsys):
+        path = tmp_path / "bad-policy.json"
+        path.write_text(json.dumps({"workload": "LiR", "checkpoint_policy": "hourly"}))
+        assert main(["sweep", "--spec", str(path), "--no-cache"]) == 2
+        assert "checkpoint policy" in capsys.readouterr().err
+
+    def test_nonpositive_jobs_rejected(self, capsys):
+        assert main(["sweep", "--jobs", "0", "--no-cache"]) == 2
+        assert "invalid sweep options" in capsys.readouterr().err

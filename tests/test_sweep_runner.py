@@ -1,0 +1,188 @@
+"""Tests for the sweep engine: execution, caching, determinism.
+
+The determinism regression is the load-bearing test: the same grid
+cell run serially, through the worker pool, and replayed from the
+on-disk cache must yield byte-identical canonical-JSON summaries.
+"""
+
+import pytest
+
+from repro.analysis.context import build_context
+from repro.sweep.cache import SweepCache, canonical_json
+from repro.sweep.runner import SweepRunner, run_scenario, summarize_run
+from repro.sweep.scenario import Scenario, ScenarioGrid
+
+
+@pytest.fixture(scope="module")
+def context():
+    return build_context(seed=0, scale="small")
+
+
+def tiny_grid() -> ScenarioGrid:
+    return ScenarioGrid.from_axes(
+        workload="LiR", theta=[0.7, 1.0], predictor="oracle", seed=0
+    )
+
+
+def summary_bytes(result) -> list[str]:
+    return [canonical_json(cell.summary) for cell in result]
+
+
+class TestSerialRunner:
+    def test_runs_every_cell_in_grid_order(self, context):
+        grid = tiny_grid()
+        result = SweepRunner(context=context).run(grid)
+        assert [cell.scenario for cell in result] == list(grid)
+        assert result.executed_count == len(grid)
+        assert result.cached_count == 0
+
+    def test_shares_the_context_run_cache(self, context):
+        runner = SweepRunner(context=context)
+        runner.run(tiny_grid())
+        # The figure runners' memoised entry for the same cell exists,
+        # so a later figure reuses the sweep's simulation.
+        key = ("spottune", "LiR", 0.7, "oracle", "notice", 3600.0, True)
+        assert key in context._run_cache
+
+    def test_summary_matches_direct_run(self, context):
+        scenario = Scenario(workload="LiR", theta=0.7, predictor="oracle")
+        summary = run_scenario(scenario, context)
+        direct = summarize_run(context.spottune_run("LiR", 0.7, "oracle"))
+        assert canonical_json(summary) == canonical_json(direct)
+
+    def test_run_one_replays_a_single_cell(self, context):
+        scenario = Scenario(workload="LiR", theta=0.7, predictor="oracle")
+        cell = SweepRunner(context=context).run_one(scenario)
+        assert cell.scenario == scenario
+        assert cell.summary["workload"] == "LiR"
+        assert cell.summary["cost"] > 0
+
+    def test_baseline_cells(self, context):
+        grid = ScenarioGrid.from_axes(
+            approach="single_spot", workload="LiR", instance="r4.large"
+        )
+        result = SweepRunner(context=context).run(grid)
+        summary = result.one(workload="LiR").summary
+        assert summary["refunded"] == 0.0
+        assert summary["free_step_fraction"] == 0.0
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+
+class TestSweepResult:
+    def test_select_and_one(self, context):
+        result = SweepRunner(context=context).run(tiny_grid())
+        assert len(result.select(workload="LiR")) == 2
+        assert result.one(theta=0.7).scenario.theta == 0.7
+        with pytest.raises(KeyError):
+            result.one(workload="LiR")  # two matches
+        with pytest.raises(KeyError):
+            result.one(workload="nope")  # zero matches
+
+
+class TestCache:
+    def test_store_and_load_round_trip(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        scenario = Scenario(workload="LoR")
+        summary = {"cost": 1.25, "selected": ["a", "b"]}
+        path = cache.store(scenario, summary)
+        assert path.exists()
+        assert cache.load(scenario) == summary
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert SweepCache(tmp_path).load(Scenario(workload="LoR")) is None
+
+    def test_corrupt_entry_ignored(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        scenario = Scenario(workload="LoR")
+        cache.path_for(scenario).write_text("{not json")
+        assert cache.load(scenario) is None
+
+    def test_mismatched_scenario_ignored(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        a = Scenario(workload="LoR")
+        b = Scenario(workload="LiR")
+        cache.store(a, {"cost": 1.0})
+        # Forge b's slot with a's payload: the recorded scenario no
+        # longer matches, so the entry must not be trusted.
+        cache.path_for(a).rename(cache.path_for(b))
+        assert cache.load(b) is None
+
+    def test_stored_bytes_are_canonical(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        scenario = Scenario(workload="LoR")
+        first = cache.store(scenario, {"b": 2, "a": 1}).read_bytes()
+        second = cache.store(scenario, {"a": 1, "b": 2}).read_bytes()
+        assert first == second
+
+
+class TestDeterminismRegression:
+    """ISSUE 2 acceptance: serial == pool == resume, byte for byte."""
+
+    def test_serial_pool_and_resume_are_byte_identical(self, context, tmp_path):
+        grid = tiny_grid()
+        cache_dir = tmp_path / "cells"
+
+        serial = SweepRunner(jobs=1, cache=cache_dir, context=context).run(grid)
+        pooled = SweepRunner(jobs=2).run(grid)
+        resumed = SweepRunner(jobs=1, cache=cache_dir, resume=True).run(grid)
+
+        assert serial.executed_count == len(grid)
+        assert resumed.executed_count == 0
+        assert resumed.cached_count == len(grid)
+        assert summary_bytes(serial) == summary_bytes(pooled) == summary_bytes(resumed)
+
+    def test_cost_jct_identical_across_paths(self, context, tmp_path):
+        grid = tiny_grid()
+        serial = SweepRunner(context=context).run(grid)
+        pooled = SweepRunner(jobs=2).run(grid)
+        for left, right in zip(serial, pooled):
+            assert left.summary["cost"] == right.summary["cost"]
+            assert left.summary["jct_hours"] == right.summary["jct_hours"]
+            assert left.summary["selected"] == right.summary["selected"]
+
+    def test_resume_only_runs_missing_cells(self, context, tmp_path):
+        cache_dir = tmp_path / "cells"
+        half = ScenarioGrid.from_axes(workload="LiR", theta=0.7, predictor="oracle")
+        SweepRunner(cache=cache_dir, context=context).run(half)
+        result = SweepRunner(cache=cache_dir, resume=True, context=context).run(
+            tiny_grid()
+        )
+        assert result.cached_count == 1
+        assert result.executed_count == 1
+
+
+class TestShards:
+    def test_shards_group_by_seed(self):
+        grid = ScenarioGrid.from_axes(
+            workload=["LiR", "LoR"], theta=[0.7, 1.0], predictor="oracle", seed=[0, 1]
+        )
+        shards = SweepRunner(jobs=4)._shards(list(grid))
+        for shard in shards:
+            assert len({(s.seed, s.scale) for s in shard}) == 1
+        assert sum(len(shard) for shard in shards) == len(grid)
+
+    def test_shards_split_large_buckets(self):
+        grid = ScenarioGrid.from_axes(
+            workload="LiR",
+            theta=[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+            predictor="oracle",
+        )
+        shards = SweepRunner(jobs=4)._shards(list(grid))
+        assert len(shards) == 4
+        assert all(len(shard) == 2 for shard in shards)
+
+
+class TestMemoKeyGranularity:
+    def test_distinct_thetas_never_share_a_memoised_run(self, context):
+        # Scenario normalises theta to 6 decimals; the context memo
+        # must be at least as fine-grained or two sweep cells would
+        # silently share one simulation.
+        context.spottune_run("LiR", 0.1234, "oracle")
+        context.spottune_run("LiR", 0.1226, "oracle")
+        thetas = {
+            key[2] for key in context._run_cache if key[0] == "spottune" and key[1] == "LiR"
+        }
+        assert {0.1234, 0.1226} <= thetas

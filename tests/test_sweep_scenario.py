@@ -1,0 +1,165 @@
+"""Tests for scenario cells, fingerprints, and the declarative grid."""
+
+import pytest
+
+from repro.sweep.scenario import Scenario, ScenarioGrid
+
+
+class TestScenario:
+    def test_defaults(self):
+        scenario = Scenario(workload="LoR")
+        assert scenario.approach == "spottune"
+        assert scenario.theta == 0.7
+        assert scenario.checkpoint_policy == "notice"
+
+    def test_unknown_approach_rejected(self):
+        with pytest.raises(ValueError, match="approach"):
+            Scenario(workload="LoR", approach="magic")
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(ValueError, match="predictor"):
+            Scenario(workload="LoR", predictor="psychic")
+
+    def test_theta_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="theta"):
+            Scenario(workload="LoR", theta=1.5)
+
+    def test_single_spot_needs_instance(self):
+        with pytest.raises(ValueError, match="instance"):
+            Scenario(workload="LoR", approach="single_spot")
+
+    def test_invalid_checkpoint_policy_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="checkpoint policy"):
+            Scenario(workload="LoR", checkpoint_policy="hourly")
+
+    def test_spottune_rejects_instance(self):
+        with pytest.raises(ValueError, match="dynamically"):
+            Scenario(workload="LoR", instance="r4.large")
+
+    def test_baseline_normalises_irrelevant_fields(self):
+        a = Scenario(
+            workload="LoR", approach="single_spot", instance="r4.large", theta=0.3
+        )
+        b = Scenario(
+            workload="LoR", approach="single_spot", instance="r4.large", theta=0.9
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_ablation_knobs_validated_and_labelled(self):
+        with pytest.raises(ValueError, match="reschedule_after"):
+            Scenario(workload="LoR", reschedule_after=0.0)
+        default = Scenario(workload="LoR")
+        ablated = Scenario(workload="LoR", reschedule_after=1e9, refund_enabled=False)
+        # Default knobs keep the pre-existing label (RngStream keys
+        # must stay stable as axes are added); flipped knobs show up.
+        assert "recycle" not in default.label()
+        assert "recycle=1e+09" in ablated.label()
+        assert "no-refund" in ablated.label()
+
+    def test_round_trip(self):
+        scenario = Scenario(workload="SVM", theta=0.5, predictor="constant", seed=7)
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown scenario fields"):
+            Scenario.from_dict({"workload": "LoR", "gpu": True})
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert (
+            Scenario(workload="LoR", seed=3).fingerprint()
+            == Scenario(workload="LoR", seed=3).fingerprint()
+        )
+
+    def test_every_field_matters(self):
+        base = Scenario(workload="LoR")
+        variants = [
+            Scenario(workload="LiR"),
+            Scenario(workload="LoR", theta=0.8),
+            Scenario(workload="LoR", predictor="constant"),
+            Scenario(workload="LoR", checkpoint_policy="periodic:900"),
+            Scenario(workload="LoR", reschedule_after=7200.0),
+            Scenario(workload="LoR", refund_enabled=False),
+            Scenario(workload="LoR", seed=1),
+            Scenario(workload="LoR", scale="paper"),
+        ]
+        fingerprints = {base.fingerprint()} | {v.fingerprint() for v in variants}
+        assert len(fingerprints) == len(variants) + 1
+
+    def test_rng_stream_deterministic_and_cell_local(self):
+        a = Scenario(workload="LoR", seed=5)
+        b = Scenario(workload="LoR", seed=5)
+        c = Scenario(workload="LiR", seed=5)
+        assert a.rng_stream().uniform() == b.rng_stream().uniform()
+        assert a.rng_stream().uniform() != c.rng_stream().uniform()
+
+
+class TestScenarioGrid:
+    def test_cartesian_product(self):
+        grid = ScenarioGrid.from_axes(
+            workload=["LoR", "LiR"], theta=[0.5, 0.7, 1.0], predictor="oracle"
+        )
+        assert len(grid) == 6
+
+    def test_scalar_axes_are_single_points(self):
+        grid = ScenarioGrid.from_axes(workload="LoR", theta=0.7)
+        assert len(grid) == 1
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown grid axes"):
+            ScenarioGrid.from_axes(workload="LoR", gpu_count=[1, 2])
+
+    def test_duplicates_collapse(self):
+        grid = ScenarioGrid(
+            [Scenario(workload="LoR"), Scenario(workload="LoR"), Scenario(workload="LiR")]
+        )
+        assert len(grid) == 2
+
+    def test_enumeration_order_is_stable(self):
+        axes = dict(workload=["LoR", "LiR"], theta=[0.7, 1.0])
+        first = [s.label() for s in ScenarioGrid.from_axes(**axes)]
+        second = [s.label() for s in ScenarioGrid.from_axes(**axes)]
+        assert first == second
+
+    def test_union(self):
+        grid = ScenarioGrid.from_axes(workload="LoR") + ScenarioGrid.from_axes(
+            workload="LiR"
+        )
+        assert len(grid) == 2
+
+    def test_from_spec_single_axes(self):
+        grid = ScenarioGrid.from_spec({"workload": ["LoR", "LiR"], "theta": [0.7, 1.0]})
+        assert len(grid) == 4
+
+    def test_from_spec_subgrids_share_defaults(self):
+        grid = ScenarioGrid.from_spec(
+            {
+                "seed": [0, 1],
+                "grids": [
+                    {"workload": "LoR", "theta": [0.7, 1.0]},
+                    {
+                        "approach": "single_spot",
+                        "workload": "LoR",
+                        "instance": "r4.large",
+                    },
+                ],
+            }
+        )
+        # (2 thetas + 1 baseline) x 2 seeds
+        assert len(grid) == 6
+        assert {s.seed for s in grid} == {0, 1}
+
+    def test_from_spec_subgrid_overrides_defaults(self):
+        grid = ScenarioGrid.from_spec(
+            {"seed": 0, "grids": [{"workload": "LoR", "seed": 9}]}
+        )
+        assert [s.seed for s in grid] == [9]
+
+    def test_from_spec_rejects_non_mapping(self):
+        with pytest.raises(ValueError, match="mapping"):
+            ScenarioGrid.from_spec([{"workload": "LoR"}])
+
+    def test_from_spec_rejects_bad_grids_value(self):
+        with pytest.raises(ValueError, match="grids"):
+            ScenarioGrid.from_spec({"grids": "LoR"})
