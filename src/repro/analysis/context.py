@@ -3,7 +3,11 @@
 Building the context is the expensive part of the evaluation (training
 one RevPred and one Tributary model per market), so every figure
 runner takes a prebuilt :class:`ExperimentContext` and the benchmark
-suite builds it once per session.
+suite builds it once per session.  The market dataset itself is cheap
+since the generator went closed-form (tens of milliseconds for the
+twelve-day pool — see ``benchmarks/bench_market_generation.py``);
+predictor-bank training dominates whatever remains, and only the
+figures that consult a trained bank pay for it, lazily.
 
 Mirrors the paper's protocol: twelve days of market data, models
 trained on the first nine (04/26-05/04) and everything evaluated —

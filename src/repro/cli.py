@@ -11,6 +11,9 @@ Commands:
 * ``sweep [--spec grid.json] [--jobs N] [--resume]`` — run a
   declarative scenario grid through the parallel sweep engine, with a
   fingerprint-keyed result cache (see README.md for the spec format).
+  Progress streams one line per completed cell and results persist
+  incrementally, so an interrupted sweep resumes with ``--resume``
+  re-running only the missing cells.
 """
 
 from __future__ import annotations
@@ -139,8 +142,26 @@ DEFAULT_SWEEP_SPEC = {
 }
 
 
+def _print_cell_progress(index: int, total: int, cell) -> None:
+    """One line per completed cell, as it completes."""
+    if cell.cached:
+        status = "cached"
+    else:
+        status = (
+            f"cost={cell.summary['cost']:.2f}$ "
+            f"jct={cell.summary['jct_hours']:.2f}h"
+        )
+    print(f"[{index}/{total}] {cell.scenario.label()}: {status}", flush=True)
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
-    from repro.sweep import ScenarioGrid, SweepRunner, cells_table, summary_columns
+    from repro.sweep import (
+        ScenarioGrid,
+        SweepCellError,
+        SweepRunner,
+        cells_table,
+        summary_columns,
+    )
 
     if args.spec:
         try:
@@ -165,14 +186,31 @@ def _run_sweep(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"invalid sweep options: {error}", file=sys.stderr)
         return 2
+    where = str(runner.cache.root) if runner.cache is not None else "disabled"
+    if runner.cache is not None:
+        recovery = (
+            f"completed cells are cached ({where}); rerun with --resume to "
+            "re-execute only the missing ones"
+        )
+    else:
+        recovery = "cache disabled, completed cells were not persisted"
     started = time.perf_counter()
-    result = runner.run(grid)
+    try:
+        result = runner.run(grid, on_cell=_print_cell_progress)
+    except SweepCellError as error:
+        # Completed cells are already on disk; only failures re-run.
+        for scenario, message in error.failures:
+            print(f"cell failed: {scenario.label()}: {message}", file=sys.stderr)
+        print(f"{len(error.failures)} cell(s) failed; {recovery}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print(f"\ninterrupted — {recovery}", file=sys.stderr)
+        return 130
     elapsed = time.perf_counter() - started
     print(format_table(
         summary_columns(), cells_table(result),
         title=f"== sweep: {len(result)} cells ==",
     ))
-    where = str(runner.cache.root) if runner.cache is not None else "disabled"
     print(
         f"\nexecuted {result.executed_count} cell(s), {result.cached_count} from "
         f"cache; jobs={args.jobs}, {elapsed:.1f}s wall; cache: {where}"

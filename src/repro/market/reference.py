@@ -1,0 +1,105 @@
+"""Frozen per-minute loop market generator (the pre-vectorisation code).
+
+This is the original ``SyntheticMarketGenerator.generate`` — one Python
+iteration per simulated minute — kept verbatim as the recorded
+reference implementation.  It is not on any production path: the golden
+regression tests pin the vectorised generator's records against the
+traces this loop produces, and the market-generation benchmark measures
+the vectorisation speedup over it.  Do not "optimise" this module; its
+value is that it never changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cloud.instance import InstanceType
+from repro.market.synthetic import MarketModelParams, params_for
+from repro.market.trace import MINUTE, PriceTrace
+from repro.sim.clock import DAY, to_datetime
+from repro.sim.rng import RngStream
+
+
+def _loop_regime_path(
+    n_minutes: int, p: MarketModelParams, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-element hidden calm/turbulent Markov chain."""
+    if p.turbulent_fraction == 0.0 or p.turbulence_multiplier == 1.0:
+        return np.zeros(n_minutes, dtype=bool)
+    leave_turbulent = 1.0 - p.regime_stay_probability
+    # Stationarity: pi_T * P(T->C) = pi_C * P(C->T).
+    enter_turbulent = (
+        leave_turbulent * p.turbulent_fraction / (1.0 - p.turbulent_fraction)
+    )
+    state = bool(rng.random() < p.turbulent_fraction)
+    draws = rng.random(n_minutes)
+    path = np.empty(n_minutes, dtype=bool)
+    for i in range(n_minutes):
+        path[i] = state
+        threshold = leave_turbulent if state else enter_turbulent
+        if draws[i] < threshold:
+            state = not state
+    return path
+
+
+def _loop_demand_level(times: np.ndarray, p: MarketModelParams) -> np.ndarray:
+    """Diurnal + workday offsets via per-element datetime conversion."""
+    seconds_of_day = np.mod(times, DAY)
+    diurnal = p.diurnal_amplitude * np.sin(2 * np.pi * (seconds_of_day / DAY - 0.375))
+    workdays = np.fromiter(
+        (to_datetime(t).weekday() < 5 for t in times), dtype=bool, count=len(times)
+    )
+    return diurnal + p.workday_boost * workdays
+
+
+def generate_loop_reference(
+    instance: InstanceType,
+    days: float = 12.0,
+    start: float = 0.0,
+    params: MarketModelParams | None = None,
+    seed: int = 0,
+) -> PriceTrace:
+    """Generate ``instance``'s trace with the original per-minute loop.
+
+    Equivalent to ``SyntheticMarketGenerator(seed).generate(...)`` as
+    the code stood before vectorisation (PR 2): same RNG fork chain,
+    same draw order, same publish rule.
+    """
+    if days <= 0:
+        raise ValueError(f"days must be positive: {days}")
+    p = params if params is not None else params_for(instance.name)
+    rng = RngStream(seed, "market").fork(instance.name).generator
+
+    n_minutes = int(round(days * DAY / MINUTE))
+    times = start + np.arange(n_minutes) * MINUTE
+    base_log = np.log(p.base_discount * instance.on_demand_price)
+    floor = p.floor_fraction * instance.on_demand_price
+    cap = p.cap_multiple * instance.on_demand_price
+
+    demand = _loop_demand_level(times, p)
+    turbulent = _loop_regime_path(n_minutes, p, rng)
+    sigma = p.volatility * np.where(turbulent, np.sqrt(p.turbulence_multiplier), 1.0)
+    jump_rate = p.jump_rate_per_hour * np.where(turbulent, p.turbulence_multiplier, 1.0)
+    noise = rng.normal(0.0, 1.0, n_minutes) * sigma
+    jump_mask = rng.random(n_minutes) < (jump_rate / 60.0)
+    jump_sizes = rng.exponential(p.jump_log_mean, n_minutes) * jump_mask
+
+    def quantise(latent_log: float) -> float:
+        return float(np.round(np.clip(np.exp(latent_log), floor, cap), 4))
+
+    record_times = [float(times[0])]
+    record_prices = [quantise(base_log + demand[0])]
+    x = base_log + demand[0]
+    published = record_prices[0]
+    for i in range(1, n_minutes):
+        target = base_log + demand[i]
+        x = x + p.mean_reversion * (target - x) + noise[i] + jump_sizes[i]
+        candidate = quantise(x)
+        if abs(candidate - published) / published > p.publish_threshold:
+            published = candidate
+            record_times.append(float(times[i]))
+            record_prices.append(candidate)
+
+    return PriceTrace(
+        instance.name, np.asarray(record_times), np.asarray(record_prices)
+    ).compress()

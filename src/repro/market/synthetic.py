@@ -7,9 +7,19 @@ and the historical 10x-on-demand cap.  Spikes decay through the mean
 reversion, reproducing the saw-tooth spikes of paper Fig. 1 where
 r3.xlarge jumps from ~$0.30 to over $3 and relaxes back within hours.
 
-Markets are generated minute-by-minute and then compressed to sparse
-change-only records, matching the source dataset's format; consumers
-re-interpolate to the 1-minute grid exactly as the paper does.
+Markets are generated on a 1-minute latent grid and then compressed to
+sparse change-only records, matching the source dataset's format;
+consumers re-interpolate to the 1-minute grid exactly as the paper
+does.
+
+The latent path is computed in closed form rather than minute-by-
+minute: the mean-reversion recurrence is linear, so it is solved with
+scaled exponentially-weighted cumulative sums (chunked so ``(1-kappa)^t``
+never under/overflows), workday flags come arithmetically from the
+epoch weekday, and the publish-threshold scan gallops over the
+precomputed price array.  The original per-minute loop survives as
+:mod:`repro.market.reference`, which the golden regression tests pin
+this implementation against.
 
 Calibration: the six experimental markets span the stability spectrum
 the paper's discussion (§V-A) relies on — m4.* markets are stable (rare
@@ -18,13 +28,14 @@ revocations), r3.xlarge is highly volatile, the rest sit in between.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.cloud.instance import InstanceType
 from repro.market.trace import MINUTE, PriceTrace
-from repro.sim.clock import DAY, to_datetime
+from repro.sim.clock import DAY, workday_mask
 from repro.sim.rng import RngStream
 
 
@@ -94,6 +105,34 @@ class MarketModelParams:
             raise ValueError(
                 f"turbulence_multiplier must be >= 1: {self.turbulence_multiplier}"
             )
+        if (
+            self.turbulent_fraction > 0.0
+            and self.turbulence_multiplier > 1.0
+            and self.turbulent_entry_probability > 1.0
+        ):
+            # A large turbulent share combined with long sojourns would
+            # need an entry "probability" above 1, so no chain with
+            # this stationary share exists.  A multiplier of exactly 1
+            # leaves the chain unsampled (the regimes are
+            # indistinguishable), so it is not validated.
+            raise ValueError(
+                f"turbulent_fraction {self.turbulent_fraction} with "
+                f"regime_stay_probability {self.regime_stay_probability} "
+                f"implies a calm->turbulent entry probability of "
+                f"{self.turbulent_entry_probability:.3f} > 1, so no Markov "
+                "chain has that stationary turbulent share; lower "
+                "turbulent_fraction or raise regime_stay_probability"
+            )
+
+    @property
+    def turbulent_entry_probability(self) -> float:
+        """P(calm -> turbulent) per minute, pinned by stationarity:
+        ``pi_T * P(T->C) = pi_C * P(C->T)``."""
+        return (
+            (1.0 - self.regime_stay_probability)
+            * self.turbulent_fraction
+            / (1.0 - self.turbulent_fraction)
+        )
 
 
 #: Calibrated profiles for the experimental pool.  Stability ordering:
@@ -220,25 +259,11 @@ class SyntheticMarketGenerator:
         # triggers the (refunded) revocation.
         jump_sizes = rng.exponential(p.jump_log_mean, n_minutes) * jump_mask
 
-        def quantise(latent_log: float) -> float:
-            return float(np.round(np.clip(np.exp(latent_log), floor, cap), 4))
-
-        record_times = [float(times[0])]
-        record_prices = [quantise(base_log + demand[0])]
-        x = base_log + demand[0]
-        published = record_prices[0]
-        for i in range(1, n_minutes):
-            target = base_log + demand[i]
-            x = x + p.mean_reversion * (target - x) + noise[i] + jump_sizes[i]
-            candidate = quantise(x)
-            if abs(candidate - published) / published > p.publish_threshold:
-                published = candidate
-                record_times.append(float(times[i]))
-                record_prices.append(candidate)
-
-        return PriceTrace(
-            instance.name, np.asarray(record_times), np.asarray(record_prices)
-        ).compress()
+        target = base_log + demand
+        latent = _mean_reversion_path(target, noise + jump_sizes, p.mean_reversion)
+        prices = np.round(np.clip(np.exp(latent), floor, cap), 4)
+        keep = _publish_indices(prices, p.publish_threshold)
+        return PriceTrace(instance.name, times[keep], prices[keep]).compress()
 
     @staticmethod
     def _regime_path(
@@ -253,18 +278,28 @@ class SyntheticMarketGenerator:
         if p.turbulent_fraction == 0.0 or p.turbulence_multiplier == 1.0:
             return np.zeros(n_minutes, dtype=bool)
         leave_turbulent = 1.0 - p.regime_stay_probability
-        # Stationarity: pi_T * P(T->C) = pi_C * P(C->T).
-        enter_turbulent = (
-            leave_turbulent * p.turbulent_fraction / (1.0 - p.turbulent_fraction)
-        )
+        enter_turbulent = p.turbulent_entry_probability
         state = bool(rng.random() < p.turbulent_fraction)
         draws = rng.random(n_minutes)
+        # The chain is sequential, but its transitions are sparse: from
+        # a given state the path only flips at the first draw under
+        # that state's threshold, so hop transition-to-transition
+        # instead of minute-to-minute.  Both flip masks are
+        # precomputed; the draw at the flip index affects the *next*
+        # minute's state, exactly as the per-minute chain did.
+        flip_from_turbulent = draws < leave_turbulent
+        flip_from_calm = draws < enter_turbulent
         path = np.empty(n_minutes, dtype=bool)
-        for i in range(n_minutes):
-            path[i] = state
-            threshold = leave_turbulent if state else enter_turbulent
-            if draws[i] < threshold:
-                state = not state
+        i = 0
+        while i < n_minutes:
+            mask = flip_from_turbulent if state else flip_from_calm
+            j = _first_true(mask, i)
+            if j < 0:
+                path[i:] = state
+                break
+            path[i : j + 1] = state
+            state = not state
+            i = j + 1
         return path
 
     @staticmethod
@@ -273,7 +308,83 @@ class SyntheticMarketGenerator:
         seconds_of_day = np.mod(times, DAY)
         # Demand peaks mid-afternoon UTC (hour 15), troughs at night.
         diurnal = p.diurnal_amplitude * np.sin(2 * np.pi * (seconds_of_day / DAY - 0.375))
-        workdays = np.fromiter(
-            (to_datetime(t).weekday() < 5 for t in times), dtype=bool, count=len(times)
-        )
-        return diurnal + p.workday_boost * workdays
+        return diurnal + p.workday_boost * workday_mask(times)
+
+
+def _mean_reversion_path(
+    target: np.ndarray, shocks: np.ndarray, kappa: float
+) -> np.ndarray:
+    """Closed-form solution of the per-minute mean-reversion recurrence.
+
+    Solves ``x[t] = x[t-1] + kappa * (target[t] - x[t-1]) + shocks[t]``
+    with ``x[0] = target[0]`` (``shocks[0]`` is ignored, matching the
+    loop formulation).  Writing ``a = 1 - kappa`` and ``b[t] =
+    kappa * target[t] + shocks[t]`` the recurrence is linear, so within
+    a chunk starting at ``s`` with carry ``c = x[s-1]``::
+
+        x[s+j] = a^(j+1) * c + a^j * cumsum(b[s:s+j+1] * a^-m)[j]
+
+    Chunks are sized so the ``a^-m`` rescaling stays within ``e^60`` —
+    unchunked, ``(1-kappa)^t`` underflows (and its reciprocal
+    overflows) after a few tens of thousands of minutes.
+    """
+    n = len(target)
+    x = np.empty(n)
+    x[0] = target[0]
+    if n == 1:
+        return x
+    a = 1.0 - kappa
+    b = kappa * target + shocks
+    chunk = max(1, min(n - 1, int(60.0 / -math.log(a))))
+    carry = x[0]
+    s = 1
+    while s < n:
+        e = min(n, s + chunk)
+        j = np.arange(e - s)
+        weighted = np.cumsum(b[s:e] * a ** -j)
+        x[s:e] = a ** (j + 1) * carry + a ** j * weighted
+        carry = x[e - 1]
+        s = e
+    return x
+
+
+def _first_true(mask: np.ndarray, start: int) -> int:
+    """Index of the first ``True`` in ``mask[start:]``, or -1.
+
+    Gallops in doubling blocks so dense masks answer from the first
+    small block while sparse ones avoid re-scanning the prefix.
+    """
+    n = len(mask)
+    lo, step = start, 64
+    while lo < n:
+        hi = min(n, lo + step)
+        j = lo + int(mask[lo:hi].argmax())
+        if mask[j]:
+            return j
+        lo, step = hi, step * 2
+    return -1
+
+
+def _publish_indices(prices: np.ndarray, threshold: float) -> np.ndarray:
+    """Indices the market publishes: each record is the first minute
+    whose quantised price moved more than ``threshold`` relative to the
+    previously published one.
+
+    Only minutes where the quantised price differs from the previous
+    minute can publish — an unchanged price repeats a comparison that
+    either just failed or just reset the reference — so the scan visits
+    the (often sparse) change points only.  The comparison reproduces
+    the reference loop's ``abs(candidate - published) / published >
+    threshold`` float-for-float: Python floats and numpy float64
+    scalars share IEEE-754 arithmetic.
+    """
+    candidates = np.flatnonzero(prices[1:] != prices[:-1]) + 1
+    price_list = prices.tolist()
+    published = price_list[0]
+    keep = [0]
+    for i in candidates.tolist():
+        candidate = price_list[i]
+        if abs(candidate - published) / published > threshold:
+            published = candidate
+            keep.append(i)
+    return np.asarray(keep, dtype=np.intp)

@@ -13,8 +13,15 @@ from __future__ import annotations
 
 from datetime import datetime, timedelta, timezone
 
+import numpy as np
+
 #: Calendar origin of simulated time (t = 0.0 seconds).
 SIM_EPOCH = datetime(2017, 4, 26, 0, 0, 0, tzinfo=timezone.utc)
+
+#: Weekday of the epoch (Monday == 0); lets vectorised consumers derive
+#: calendar weekdays arithmetically instead of via per-element datetime
+#: conversion.
+EPOCH_WEEKDAY = SIM_EPOCH.weekday()
 
 #: Seconds in one simulated hour / day, used throughout the package.
 HOUR = 3600.0
@@ -34,6 +41,17 @@ def hour_of_day(t: float) -> int:
 def is_workday(t: float) -> bool:
     """True when ``t`` falls on Monday..Friday (UTC)."""
     return to_datetime(t).weekday() < 5
+
+
+def workday_mask(times: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`is_workday` over an array of timestamps.
+
+    Because the epoch is midnight UTC, the weekday of any timestamp is
+    ``(EPOCH_WEEKDAY + floor(t / DAY)) % 7`` — no per-element datetime
+    construction required.
+    """
+    days = np.floor_divide(np.asarray(times, dtype=float), DAY)
+    return (EPOCH_WEEKDAY + days) % 7 < 5
 
 
 class SimClock:

@@ -18,11 +18,24 @@ the grid the first-class object:
 Determinism contract: a cell's summary depends only on its
 :class:`Scenario` fields.  The same cell run serially, through the
 pool, or replayed from cache yields byte-identical canonical JSON.
+
+Durability contract: each cell's summary is persisted to the cache the
+moment it is computed (by the worker that computed it, on the pool
+path), so an interrupt or crash mid-sweep never loses a completed
+cell — resuming re-executes exactly the missing ones.  A failing cell
+does not abort its siblings; the sweep drains, then raises
+:class:`~repro.sweep.runner.SweepCellError`.
 """
 
 from repro.sweep.aggregate import cells_table, summary_columns
 from repro.sweep.cache import SweepCache, canonical_json
-from repro.sweep.runner import CellResult, SweepResult, SweepRunner, run_scenario
+from repro.sweep.runner import (
+    CellResult,
+    SweepCellError,
+    SweepResult,
+    SweepRunner,
+    run_scenario,
+)
 from repro.sweep.scenario import Scenario, ScenarioGrid
 
 __all__ = [
@@ -30,6 +43,7 @@ __all__ = [
     "Scenario",
     "ScenarioGrid",
     "SweepCache",
+    "SweepCellError",
     "SweepResult",
     "SweepRunner",
     "canonical_json",

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.sweep.runner import CellResult
+from repro.sweep.scenario import RESCHEDULE_AFTER_DEFAULT
 
 #: (header, summary key, format) for the numeric summary columns.
 SUMMARY_COLUMNS: tuple[tuple[str, str, str], ...] = (
@@ -35,7 +36,7 @@ def _scenario_columns(cell: CellResult) -> list[str]:
         # Flipped ablation knobs must be visible, or ablation rows
         # are indistinguishable from their base cells.
         flags = []
-        if scenario.reschedule_after != 3600.0:
+        if scenario.reschedule_after != RESCHEDULE_AFTER_DEFAULT:
             flags.append(f"recycle={scenario.reschedule_after:g}")
         if not scenario.refund_enabled:
             flags.append("no-refund")

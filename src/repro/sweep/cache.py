@@ -11,10 +11,15 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any, Optional
 
 from repro.sweep.scenario import SCHEMA_VERSION, Scenario
+
+#: Temp files older than this are orphans of a killed writer (a live
+#: write holds its temp for milliseconds) and are swept on open.
+_STALE_TMP_SECONDS = 3600.0
 
 
 def canonical_json(payload: Any) -> str:
@@ -25,9 +30,23 @@ def canonical_json(payload: Any) -> str:
 class SweepCache:
     """Fingerprint-keyed store of cell summaries under one directory."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, sweep_stale: bool = True) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        if sweep_stale:
+            self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove temp files orphaned by writers that were killed
+        between write and rename.  Age-gated so a concurrent sweep's
+        in-flight temp file is never pulled out from under it."""
+        cutoff = time.time() - _STALE_TMP_SECONDS
+        for tmp in self.root.glob("*.json.tmp*"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:
+                continue  # already gone, or not ours to remove
 
     def path_for(self, scenario: Scenario) -> Path:
         return self.root / f"{scenario.fingerprint()}.json"
@@ -61,9 +80,16 @@ class SweepCache:
             "scenario": scenario.to_dict(),
             "summary": summary,
         }
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(canonical_json(payload))
-        os.replace(tmp, path)
+        # Worker processes (and concurrent sweeps sharing one cache
+        # directory) may store simultaneously; a per-process temp name
+        # keeps every write-then-rename private until the atomic swap.
+        tmp = path.with_suffix(f".json.tmp{os.getpid()}")
+        try:
+            tmp.write_text(canonical_json(payload))
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         return path
 
     def __len__(self) -> int:

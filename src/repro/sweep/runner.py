@@ -12,6 +12,11 @@ JSON for the same cell.
 Worker processes build their own experiment context lazily and memoise
 it per ``(seed, scale)`` — context construction is deterministic in
 the seed, so a pool run reproduces the serial results exactly.
+
+Persistence is incremental: summaries hit the on-disk cache cell by
+cell as they complete (workers write their own cells on the pool
+path), never in a batch at the end, so nothing already finished is
+ever lost to a crash or interrupt.
 """
 
 from __future__ import annotations
@@ -41,13 +46,14 @@ def _context_for(seed: int, scale: str, context=None):
 
     A caller-supplied context is used (and memoised) when it matches,
     so figure runners can share their prebuilt context — and its
-    memoised runs — with the sweep.
+    memoised runs — with the sweep.  Every hit, caller-supplied or
+    not, goes through the same LRU touch/evict bookkeeping so the memo
+    never grows past :data:`_MAX_CACHED_CONTEXTS`.
     """
     key = (int(seed), scale)
     if context is not None and (context.seed, context.scale) == key:
-        _CONTEXT_CACHE.setdefault(key, context)
-        return context
-    if key not in _CONTEXT_CACHE:
+        _CONTEXT_CACHE[key] = context
+    elif key not in _CONTEXT_CACHE:
         from repro.analysis.context import build_context
 
         _CONTEXT_CACHE[key] = build_context(seed=int(seed), scale=scale)
@@ -104,16 +110,37 @@ def run_scenario(scenario: Scenario, context=None) -> dict:
     return summarize_run(result)
 
 
-def _pool_run_shard(scenario_dicts: list[dict]) -> list[tuple[str, dict]]:
+def _pool_run_shard(
+    payload: tuple[list[dict], Union[str, None]]
+) -> list[tuple[str, Union[dict, None], Union[str, None]]]:
     """Pool worker entry point: run one shard of cells, tag by id.
 
     A shard holds cells of a single ``(seed, scale)``, so the worker
-    builds at most one experiment context per task.
+    builds at most one experiment context per task.  Each cell's
+    summary is written to the result cache *here*, the moment it
+    exists — a later crash (of this worker, a sibling, or the parent)
+    cannot lose it.  A cell that raises is reported as
+    ``(fingerprint, None, error)`` and its shard siblings still run.
     """
-    results = []
+    scenario_dicts, cache_root = payload
+    # The parent's SweepCache already swept stale temp files; one
+    # directory scan per shard task would be pure overhead.
+    cache = (
+        SweepCache(cache_root, sweep_stale=False) if cache_root is not None else None
+    )
+    results: list[tuple[str, Union[dict, None], Union[str, None]]] = []
     for scenario_dict in scenario_dicts:
         scenario = Scenario.from_dict(scenario_dict)
-        results.append((scenario.fingerprint(), run_scenario(scenario)))
+        try:
+            summary = run_scenario(scenario)
+        except Exception as error:  # noqa: BLE001 — isolate sibling cells
+            results.append(
+                (scenario.fingerprint(), None, f"{type(error).__name__}: {error}")
+            )
+            continue
+        if cache is not None:
+            cache.store(scenario, summary)
+        results.append((scenario.fingerprint(), summary, None))
     return results
 
 
@@ -124,6 +151,41 @@ class CellResult:
     scenario: Scenario
     summary: dict
     cached: bool = False
+
+
+class SweepCellError(RuntimeError):
+    """One or more cells failed after the rest of the sweep drained.
+
+    Raised only once every runnable cell has been attempted, so sibling
+    cells are never aborted by one failure.  ``failures`` holds
+    ``(scenario, error message)`` pairs in completion order and
+    ``completed`` the sibling :class:`CellResult` s that did finish —
+    with a cache they are also on disk, so ``--resume`` re-runs exactly
+    the failed cells; without one they are reachable only here.
+    """
+
+    def __init__(
+        self,
+        failures: list[tuple[Scenario, str]],
+        completed: list[CellResult] = (),
+        persisted: bool = False,
+    ) -> None:
+        self.failures = list(failures)
+        self.completed = list(completed)
+        self.persisted = persisted
+        shown = "; ".join(
+            f"{scenario.label()}: {message}" for scenario, message in self.failures[:3]
+        )
+        suffix = "" if len(self.failures) <= 3 else f" (+{len(self.failures) - 3} more)"
+        fate = (
+            "completed cells are cached, rerun with resume to retry only the failures"
+            if persisted
+            else "no cache configured; completed cells survive only on this "
+            "exception's .completed"
+        )
+        super().__init__(
+            f"{len(self.failures)} sweep cell(s) failed — {fate}: {shown}{suffix}"
+        )
 
 
 class SweepResult:
@@ -201,31 +263,65 @@ class SweepRunner:
         """Deterministic in-process replay of a single cell."""
         return CellResult(scenario, run_scenario(scenario, self._context))
 
-    def run(self, grid: Union[ScenarioGrid, Iterable[Scenario]]) -> SweepResult:
+    def run(
+        self,
+        grid: Union[ScenarioGrid, Iterable[Scenario]],
+        on_cell=None,
+    ) -> SweepResult:
+        """Execute the grid; results stream to the cache cell by cell.
+
+        Every cell's summary is persisted the moment it exists — by the
+        worker that computed it on the pool path, immediately after
+        simulation on the in-process path — so an interrupt or crash at
+        any point loses nothing already finished and a later ``resume``
+        run re-executes zero completed cells.
+
+        ``on_cell(index, total, cell)`` is invoked after each cell
+        completes (cache hits included), in completion order.
+
+        A cell that raises does not abort its siblings; the sweep
+        drains fully, then raises :class:`SweepCellError` listing the
+        failed cells.
+        """
         scenarios = list(grid)
+        total = len(scenarios)
         done: dict[str, CellResult] = {}
+
+        def emit(cell: CellResult) -> None:
+            done[cell.scenario.fingerprint()] = cell
+            if on_cell is not None:
+                on_cell(len(done), total, cell)
+
         pending: list[Scenario] = []
         for scenario in scenarios:
             if self.resume and self.cache is not None:
                 summary = self.cache.load(scenario)
                 if summary is not None:
-                    done[scenario.fingerprint()] = CellResult(
-                        scenario, summary, cached=True
-                    )
+                    emit(CellResult(scenario, summary, cached=True))
                     continue
             pending.append(scenario)
 
+        failures: list[tuple[Scenario, str]] = []
         if len(pending) > 1 and self.jobs > 1:
-            fresh = self._run_pool(pending)
+            self._run_pool(pending, emit, failures)
         else:
-            fresh = {
-                s.fingerprint(): CellResult(s, run_scenario(s, self._context))
-                for s in pending
-            }
-        if self.cache is not None:
-            for cell in fresh.values():
-                self.cache.store(cell.scenario, cell.summary)
-        done.update(fresh)
+            for scenario in pending:
+                try:
+                    summary = run_scenario(scenario, self._context)
+                except Exception as error:  # noqa: BLE001 — drain siblings
+                    failures.append(
+                        (scenario, f"{type(error).__name__}: {error}")
+                    )
+                    continue
+                if self.cache is not None:
+                    self.cache.store(scenario, summary)
+                emit(CellResult(scenario, summary))
+        if failures:
+            raise SweepCellError(
+                failures,
+                completed=list(done.values()),
+                persisted=self.cache is not None,
+            )
         return SweepResult(done[s.fingerprint()] for s in scenarios)
 
     # ------------------------------------------------------------------
@@ -247,7 +343,7 @@ class SweepRunner:
                 shards.append(bucket[start : start + target])
         return shards
 
-    def _run_pool(self, pending: list[Scenario]) -> dict[str, CellResult]:
+    def _run_pool(self, pending, emit, failures) -> None:
         # Prefer fork where available: workers inherit any context the
         # parent already built (dataset, trained banks) copy-on-write.
         # Contexts the parent never built are constructed inside the
@@ -259,15 +355,20 @@ class SweepRunner:
         methods = multiprocessing.get_all_start_methods()
         mp = multiprocessing.get_context("fork" if "fork" in methods else None)
         by_fingerprint = {s.fingerprint(): s for s in pending}
+        cache_root = str(self.cache.root) if self.cache is not None else None
         shards = self._shards(pending)
-        fresh: dict[str, CellResult] = {}
         with mp.Pool(processes=min(self.jobs, len(shards))) as pool:
             results = pool.imap_unordered(
                 _pool_run_shard,
-                [[s.to_dict() for s in shard] for shard in shards],
+                [([s.to_dict() for s in shard], cache_root) for shard in shards],
                 chunksize=1,
             )
+            # Workers persisted each summary before returning it, so
+            # cells report here (and to on_cell) already crash-safe.
             for shard_results in results:
-                for fingerprint, summary in shard_results:
-                    fresh[fingerprint] = CellResult(by_fingerprint[fingerprint], summary)
-        return fresh
+                for fingerprint, summary, error in shard_results:
+                    scenario = by_fingerprint[fingerprint]
+                    if error is not None:
+                        failures.append((scenario, error))
+                    else:
+                        emit(CellResult(scenario, summary))

@@ -24,7 +24,10 @@ from repro.sim.rng import RngStream
 
 #: Bump when the Scenario schema or summary shape changes; stale cache
 #: entries from older schemas are then never confused for current ones.
-SCHEMA_VERSION = 1
+#: v2: vectorised market generation (different float association in the
+#: latent price path), so cached summaries from the loop generator must
+#: not be replayed against the new one.
+SCHEMA_VERSION = 2
 
 APPROACHES = ("spottune", "single_spot")
 PREDICTOR_KINDS = ("revpred", "tributary", "oracle", "constant")
@@ -93,7 +96,7 @@ class Scenario:
             object.__setattr__(self, "theta", 1.0)
             object.__setattr__(self, "predictor", "none")
             object.__setattr__(self, "checkpoint_policy", "none")
-            object.__setattr__(self, "reschedule_after", 3600.0)
+            object.__setattr__(self, "reschedule_after", RESCHEDULE_AFTER_DEFAULT)
             object.__setattr__(self, "refund_enabled", True)
         if self.reschedule_after <= 0:
             raise ValueError(f"reschedule_after must be positive: {self.reschedule_after}")
@@ -128,7 +131,7 @@ class Scenario:
             # Ablation knobs only appear when flipped off their
             # defaults, so existing cell labels (and the RngStreams
             # forked from them) stay stable as axes are added.
-            if self.reschedule_after != 3600.0:
+            if self.reschedule_after != RESCHEDULE_AFTER_DEFAULT:
                 core += f"/recycle={self.reschedule_after:g}"
             if not self.refund_enabled:
                 core += "/no-refund"
@@ -159,6 +162,15 @@ class Scenario:
         sub-grids — so they stay replayable per cell.
         """
         return RngStream(self.seed, f"sweep/{self.label()}")
+
+
+#: The dataclass default of ``reschedule_after``, derived rather than
+#: repeated: label/table code decides "is this an ablation?" against
+#: this value, and a hard-coded copy would silently mislabel ablation
+#: rows if the field default ever moved.
+RESCHEDULE_AFTER_DEFAULT: float = Scenario.__dataclass_fields__[
+    "reschedule_after"
+].default
 
 
 def _as_axis(value: Any) -> list[Any]:

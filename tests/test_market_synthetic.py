@@ -100,3 +100,28 @@ class TestParams:
     def test_rejects_floor_above_cap(self):
         with pytest.raises(ValueError):
             MarketModelParams(floor_fraction=20.0, cap_multiple=10.0)
+
+    def test_rejects_unreachable_stationary_turbulent_share(self):
+        # f=0.9 with stay=0.5 needs P(calm->turbulent) = 4.5 > 1: no
+        # Markov chain has that stationary share, so the combination
+        # must be rejected instead of silently breaking the contract.
+        with pytest.raises(ValueError, match="entry probability"):
+            MarketModelParams(turbulent_fraction=0.9, regime_stay_probability=0.5)
+
+    def test_accepts_large_turbulent_share_with_long_sojourns(self):
+        # The same share is fine when sojourns are long enough.
+        params = MarketModelParams(
+            turbulent_fraction=0.9, regime_stay_probability=0.995
+        )
+        assert params.turbulent_fraction == 0.9
+
+    def test_inert_regime_combo_not_validated(self):
+        # turbulence_multiplier == 1 short-circuits the regime chain
+        # entirely, so the stationary-share contract has nothing to
+        # break and the combination stays accepted.
+        params = MarketModelParams(
+            turbulent_fraction=0.9,
+            regime_stay_probability=0.5,
+            turbulence_multiplier=1.0,
+        )
+        assert params.turbulence_multiplier == 1.0

@@ -1,0 +1,154 @@
+"""Golden and property tests for the vectorised market generator.
+
+The load-bearing regression: the vectorised closed-form generator must
+reproduce the recorded per-minute loop implementation
+(:mod:`repro.market.reference`) record for record.  The quantisation
+to $0.0001 absorbs the ~1e-15 float-association difference of the
+scan, so the traces are expected to be *exactly* equal, not merely
+close — any drift here silently invalidates every cached sweep cell.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.instance import INSTANCE_CATALOG, InstanceType, get_instance_type
+from repro.market.reference import generate_loop_reference
+from repro.market.synthetic import (
+    MarketModelParams,
+    SyntheticMarketGenerator,
+    _first_true,
+    _mean_reversion_path,
+    _publish_indices,
+    params_for,
+)
+
+#: An instance name absent from DEFAULT_MARKET_PROFILES, so it takes
+#: the default parameters — the only profile with a non-trivial
+#: calm/turbulent regime chain.
+TURBULENT_INSTANCE = InstanceType("c5.large", 2, 4.0, 0.085)
+
+
+class TestGoldenAgainstLoopReference:
+    @pytest.mark.parametrize("name", sorted(INSTANCE_CATALOG))
+    def test_full_window_matches_loop(self, name):
+        instance = get_instance_type(name)
+        vectorised = SyntheticMarketGenerator(seed=0).generate(instance, days=12.0)
+        reference = generate_loop_reference(instance, days=12.0, seed=0)
+        np.testing.assert_array_equal(vectorised.times, reference.times)
+        np.testing.assert_array_equal(vectorised.prices, reference.prices)
+
+    @pytest.mark.parametrize("seed", [1, 2, 7])
+    def test_other_seeds_match_loop(self, seed):
+        instance = get_instance_type("r3.xlarge")
+        vectorised = SyntheticMarketGenerator(seed=seed).generate(instance, days=4.0)
+        reference = generate_loop_reference(instance, days=4.0, seed=seed)
+        np.testing.assert_array_equal(vectorised.times, reference.times)
+        np.testing.assert_array_equal(vectorised.prices, reference.prices)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_turbulent_regime_matches_loop(self, seed):
+        vectorised = SyntheticMarketGenerator(seed=seed).generate(
+            TURBULENT_INSTANCE, days=6.0
+        )
+        reference = generate_loop_reference(TURBULENT_INSTANCE, days=6.0, seed=seed)
+        np.testing.assert_array_equal(vectorised.times, reference.times)
+        np.testing.assert_array_equal(vectorised.prices, reference.prices)
+
+    def test_nonzero_start_matches_loop(self):
+        instance = get_instance_type("r4.large")
+        vectorised = SyntheticMarketGenerator(seed=0).generate(
+            instance, days=2.0, start=5 * 86400.0
+        )
+        reference = generate_loop_reference(instance, days=2.0, start=5 * 86400.0)
+        np.testing.assert_array_equal(vectorised.times, reference.times)
+        np.testing.assert_array_equal(vectorised.prices, reference.prices)
+
+
+class TestMeanReversionPath:
+    @staticmethod
+    def loop(target, shocks, kappa):
+        x = np.empty(len(target))
+        x[0] = current = target[0]
+        for i in range(1, len(target)):
+            current = current + kappa * (target[i] - current) + shocks[i]
+            x[i] = current
+        return x
+
+    @pytest.mark.parametrize("kappa", [0.001, 0.015, 0.02, 0.5, 0.9, 0.999])
+    def test_matches_loop_recurrence(self, kappa):
+        rng = np.random.default_rng(0)
+        target = rng.normal(-1.0, 0.05, 17280)
+        shocks = rng.normal(0.0, 0.01, 17280)
+        vectorised = _mean_reversion_path(target, shocks, kappa)
+        np.testing.assert_allclose(
+            vectorised, self.loop(target, shocks, kappa), rtol=0, atol=1e-10
+        )
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_tiny_inputs(self, n):
+        target = np.linspace(-1.0, -0.9, n)
+        shocks = np.full(n, 0.01)
+        np.testing.assert_allclose(
+            _mean_reversion_path(target, shocks, 0.015),
+            self.loop(target, shocks, 0.015),
+            rtol=0,
+            atol=1e-12,
+        )
+
+
+class TestScanHelpers:
+    def test_first_true_finds_across_block_boundaries(self):
+        mask = np.zeros(1000, dtype=bool)
+        for hit in (0, 63, 64, 200, 999):
+            mask[:] = False
+            mask[hit] = True
+            assert _first_true(mask, 0) == hit
+        assert _first_true(np.zeros(1000, dtype=bool), 0) == -1
+        mask[:] = False
+        mask[10] = True
+        assert _first_true(mask, 11) == -1
+
+    def test_publish_indices_match_loop_scan(self):
+        rng = np.random.default_rng(1)
+        prices = np.round(np.exp(np.cumsum(rng.normal(0, 0.02, 5000)) - 1.0), 4)
+        threshold = 0.01
+        keep = [0]
+        published = prices[0]
+        for i in range(1, len(prices)):
+            if abs(prices[i] - published) / published > threshold:
+                published = prices[i]
+                keep.append(i)
+        np.testing.assert_array_equal(_publish_indices(prices, threshold), keep)
+
+
+class TestTraceProperties:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("name", ["r3.xlarge", "m4.4xlarge"])
+    def test_prices_within_floor_and_cap(self, name, seed):
+        instance = get_instance_type(name)
+        params = params_for(name)
+        trace = SyntheticMarketGenerator(seed=seed).generate(instance, days=3.0)
+        assert trace.prices.min() >= params.floor_fraction * instance.on_demand_price
+        assert trace.prices.max() <= params.cap_multiple * instance.on_demand_price
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_record_times_strictly_increasing(self, seed):
+        trace = SyntheticMarketGenerator(seed=seed).generate(
+            get_instance_type("r3.xlarge"), days=3.0
+        )
+        assert np.all(np.diff(trace.times) > 0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_compress_is_idempotent(self, seed):
+        trace = SyntheticMarketGenerator(seed=seed).generate(
+            get_instance_type("r4.large"), days=3.0
+        )
+        compressed = trace.compress()
+        np.testing.assert_array_equal(compressed.times, trace.times)
+        np.testing.assert_array_equal(compressed.prices, trace.prices)
+
+    def test_turbulent_params_still_respect_bounds(self):
+        params = MarketModelParams()
+        trace = SyntheticMarketGenerator(seed=2).generate(TURBULENT_INSTANCE, days=3.0)
+        assert trace.prices.min() >= params.floor_fraction * TURBULENT_INSTANCE.on_demand_price
+        assert trace.prices.max() <= params.cap_multiple * TURBULENT_INSTANCE.on_demand_price

@@ -1,8 +1,18 @@
 """Tests for the simulated clock and calendar helpers."""
 
+import numpy as np
 import pytest
 
-from repro.sim.clock import DAY, HOUR, SIM_EPOCH, SimClock, hour_of_day, is_workday, to_datetime
+from repro.sim.clock import (
+    DAY,
+    HOUR,
+    SIM_EPOCH,
+    SimClock,
+    hour_of_day,
+    is_workday,
+    to_datetime,
+    workday_mask,
+)
 
 
 class TestSimClock:
@@ -70,3 +80,14 @@ class TestCalendar:
     def test_to_datetime_roundtrip(self):
         dt = to_datetime(2.5 * DAY)
         assert (dt - SIM_EPOCH).total_seconds() == pytest.approx(2.5 * DAY)
+
+    def test_workday_mask_matches_scalar_is_workday(self):
+        # Every minute across two weeks, plus awkward off-grid offsets.
+        times = np.concatenate(
+            [
+                np.arange(0.0, 14 * DAY, 60.0),
+                np.array([0.1, DAY - 0.1, 3 * DAY + 12 * HOUR + 0.5]),
+            ]
+        )
+        expected = np.array([is_workday(t) for t in times])
+        np.testing.assert_array_equal(workday_mask(times), expected)

@@ -1,6 +1,12 @@
 """End-to-end smoke tests for the ``repro sweep`` CLI subcommand."""
 
 import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
@@ -117,3 +123,118 @@ class TestSweepCommand:
     def test_nonpositive_jobs_rejected(self, capsys):
         assert main(["sweep", "--jobs", "0", "--no-cache"]) == 2
         assert "invalid sweep options" in capsys.readouterr().err
+
+    def test_progress_line_per_cell(self, tmp_path, spec_path, capsys):
+        main(["sweep", "--spec", str(spec_path), "--cache-dir", str(tmp_path / "c")])
+        out = capsys.readouterr().out
+        progress = [line for line in out.splitlines() if line.startswith("[")]
+        assert len(progress) == 4
+        assert progress[0].startswith("[1/4] ")
+        assert "cost=" in progress[0]
+
+    def test_failed_cells_reported_and_completed_ones_cached(
+        self, tmp_path, spec_path, capsys, monkeypatch
+    ):
+        from repro.sweep import runner as runner_mod
+
+        real = runner_mod.run_scenario
+
+        def boom(scenario, context=None):
+            if scenario.predictor == "constant":
+                raise RuntimeError("injected failure")
+            return real(scenario, context)
+
+        monkeypatch.setattr(runner_mod, "run_scenario", boom)
+        cache_dir = tmp_path / "cells"
+        assert (
+            main(["sweep", "--spec", str(spec_path), "--cache-dir", str(cache_dir)])
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "injected failure" in err
+        assert "--resume" in err
+        assert len(list(cache_dir.glob("*.json"))) == 2
+        monkeypatch.undo()
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec",
+                    str(spec_path),
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        assert "executed 2 cell(s), 2 from cache" in capsys.readouterr().out
+
+
+class TestKillMidSweep:
+    """ISSUE 3 acceptance: a killed sweep resumed with ``--resume``
+    re-executes zero completed cells — proven against a real process
+    killed with SIGKILL, not an in-process simulation."""
+
+    SPEC = {
+        "seed": 0,
+        "workload": "LiR",
+        "theta": [0.6, 0.7, 0.8, 0.9],
+        "predictor": "oracle",
+    }
+
+    def test_sigkill_loses_no_completed_cells(self, tmp_path, capsys):
+        spec_path = tmp_path / "grid.json"
+        spec_path.write_text(json.dumps(self.SPEC))
+        cache_dir = tmp_path / "cells"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "sweep",
+                "--spec",
+                str(spec_path),
+                "--cache-dir",
+                str(cache_dir),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Kill as soon as the first cell lands on disk (or let the
+            # sweep finish; either way resume must re-run nothing done).
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if cache_dir.is_dir() and list(cache_dir.glob("*.json")):
+                    break
+                if process.poll() is not None:
+                    break
+                time.sleep(0.05)
+            if process.poll() is None:
+                process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        completed = len(list(cache_dir.glob("*.json")))
+        assert completed >= 1, "sweep never persisted a cell before the kill"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec",
+                    str(spec_path),
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"executed {4 - completed} cell(s), {completed} from cache" in out

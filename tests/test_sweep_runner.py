@@ -8,8 +8,14 @@ on-disk cache must yield byte-identical canonical-JSON summaries.
 import pytest
 
 from repro.analysis.context import build_context
+from repro.sweep import runner as runner_mod
 from repro.sweep.cache import SweepCache, canonical_json
-from repro.sweep.runner import SweepRunner, run_scenario, summarize_run
+from repro.sweep.runner import (
+    SweepCellError,
+    SweepRunner,
+    run_scenario,
+    summarize_run,
+)
 from repro.sweep.scenario import Scenario, ScenarioGrid
 
 
@@ -152,6 +158,148 @@ class TestDeterminismRegression:
         )
         assert result.cached_count == 1
         assert result.executed_count == 1
+
+
+class TestIncrementalPersistence:
+    """ISSUE 3 tentpole: a killed sweep loses zero completed cells."""
+
+    def test_interrupt_mid_sweep_preserves_completed_cells(self, context, tmp_path):
+        cache_dir = tmp_path / "cells"
+
+        def interrupt_after_first(index, total, cell):
+            if index == 1:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            SweepRunner(cache=cache_dir, context=context).run(
+                tiny_grid(), on_cell=interrupt_after_first
+            )
+        # The completed cell was persisted *before* the interrupt hit.
+        assert len(list(cache_dir.glob("*.json"))) == 1
+        resumed = SweepRunner(cache=cache_dir, resume=True, context=context).run(
+            tiny_grid()
+        )
+        assert resumed.cached_count == 1
+        assert resumed.executed_count == 1
+
+    def test_pool_workers_persist_cells_themselves(self, tmp_path):
+        cache_dir = tmp_path / "cells"
+        grid = tiny_grid()
+        SweepRunner(jobs=2, cache=cache_dir).run(grid)
+        cache = SweepCache(cache_dir)
+        for scenario in grid:
+            assert cache.load(scenario) is not None
+
+    def test_on_cell_reports_every_cell(self, context, tmp_path):
+        seen = []
+        result = SweepRunner(cache=tmp_path / "c", context=context).run(
+            tiny_grid(), on_cell=lambda i, n, cell: seen.append((i, n, cell.cached))
+        )
+        assert seen == [(1, 2, False), (2, 2, False)]
+        assert len(result) == 2
+
+    def test_on_cell_reports_cache_hits(self, context, tmp_path):
+        cache_dir = tmp_path / "c"
+        SweepRunner(cache=cache_dir, context=context).run(tiny_grid())
+        seen = []
+        SweepRunner(cache=cache_dir, resume=True, context=context).run(
+            tiny_grid(), on_cell=lambda i, n, cell: seen.append(cell.cached)
+        )
+        assert seen == [True, True]
+
+
+class TestFailureIsolation:
+    """A failing cell reports its error without aborting siblings."""
+
+    @pytest.fixture()
+    def failing_run_scenario(self, monkeypatch):
+        real = runner_mod.run_scenario
+
+        def boom(scenario, context=None):
+            if scenario.theta == 1.0:
+                raise RuntimeError("injected cell failure")
+            return real(scenario, context)
+
+        monkeypatch.setattr(runner_mod, "run_scenario", boom)
+
+    def test_serial_siblings_survive_a_failing_cell(
+        self, context, tmp_path, failing_run_scenario
+    ):
+        cache_dir = tmp_path / "cells"
+        with pytest.raises(SweepCellError) as excinfo:
+            SweepRunner(cache=cache_dir, context=context).run(tiny_grid())
+        assert len(excinfo.value.failures) == 1
+        scenario, message = excinfo.value.failures[0]
+        assert scenario.theta == 1.0
+        assert "injected cell failure" in message
+        # The sibling completed and was persisted despite the failure.
+        assert len(list(cache_dir.glob("*.json"))) == 1
+
+    def test_resume_retries_only_the_failed_cell(
+        self, context, tmp_path, failing_run_scenario, monkeypatch
+    ):
+        cache_dir = tmp_path / "cells"
+        with pytest.raises(SweepCellError):
+            SweepRunner(cache=cache_dir, context=context).run(tiny_grid())
+        monkeypatch.undo()
+        result = SweepRunner(cache=cache_dir, resume=True, context=context).run(
+            tiny_grid()
+        )
+        assert result.cached_count == 1
+        assert result.executed_count == 1
+
+    def test_without_a_cache_completed_cells_ride_the_exception(
+        self, context, failing_run_scenario
+    ):
+        with pytest.raises(SweepCellError) as excinfo:
+            SweepRunner(context=context).run(tiny_grid())
+        error = excinfo.value
+        assert not error.persisted
+        assert "no cache configured" in str(error)
+        assert [cell.scenario.theta for cell in error.completed] == [0.7]
+
+    def test_pool_siblings_survive_a_failing_cell(
+        self, tmp_path, failing_run_scenario
+    ):
+        # Pool workers fork after the monkeypatch, so they inherit the
+        # failure injection; the healthy shard still lands on disk.
+        cache_dir = tmp_path / "cells"
+        with pytest.raises(SweepCellError) as excinfo:
+            SweepRunner(jobs=2, cache=cache_dir).run(tiny_grid())
+        assert len(excinfo.value.failures) == 1
+        assert len(list(cache_dir.glob("*.json"))) == 1
+
+
+class TestContextMemoBookkeeping:
+    """The per-process context memo stays bounded and recency-ordered
+    on the caller-supplied-context path too."""
+
+    class FakeContext:
+        def __init__(self, seed):
+            self.seed = seed
+            self.scale = "small"
+
+    def test_caller_supplied_contexts_respect_the_lru_bound(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "_CONTEXT_CACHE", {})
+        for seed in range(runner_mod._MAX_CACHED_CONTEXTS + 4):
+            ctx = self.FakeContext(seed)
+            assert runner_mod._context_for(seed, "small", ctx) is ctx
+        assert len(runner_mod._CONTEXT_CACHE) == runner_mod._MAX_CACHED_CONTEXTS
+
+    def test_caller_supplied_hit_refreshes_recency(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "_CONTEXT_CACHE", {})
+        contexts = {
+            seed: self.FakeContext(seed)
+            for seed in range(runner_mod._MAX_CACHED_CONTEXTS)
+        }
+        for seed, ctx in contexts.items():
+            runner_mod._context_for(seed, "small", ctx)
+        # Touch the oldest entry, then overflow by one: the evictee
+        # must be the stalest entry (seed 1), not the just-touched one.
+        runner_mod._context_for(0, "small", contexts[0])
+        runner_mod._context_for(99, "small", self.FakeContext(99))
+        assert (0, "small") in runner_mod._CONTEXT_CACHE
+        assert (1, "small") not in runner_mod._CONTEXT_CACHE
 
 
 class TestShards:

@@ -163,3 +163,28 @@ class TestScenarioGrid:
     def test_from_spec_rejects_bad_grids_value(self):
         with pytest.raises(ValueError, match="grids"):
             ScenarioGrid.from_spec({"grids": "LoR"})
+
+
+class TestRescheduleDefault:
+    def test_derived_from_the_dataclass_field(self):
+        from dataclasses import fields
+
+        from repro.sweep.scenario import RESCHEDULE_AFTER_DEFAULT
+
+        field_default = next(
+            f.default for f in fields(Scenario) if f.name == "reschedule_after"
+        )
+        assert RESCHEDULE_AFTER_DEFAULT == field_default
+
+    def test_default_reschedule_not_labelled_as_ablation(self):
+        from repro.sweep.aggregate import _scenario_columns
+        from repro.sweep.runner import CellResult
+
+        base = Scenario(workload="LoR")
+        ablated = Scenario(workload="LoR", reschedule_after=7200.0)
+        base_row = _scenario_columns(CellResult(base, {}))
+        ablated_row = _scenario_columns(CellResult(ablated, {}))
+        assert "recycle" not in base_row[1]
+        assert "recycle=7200" in ablated_row[1]
+        assert "recycle" not in base.label()
+        assert "recycle=7200" in ablated.label()
