@@ -44,7 +44,16 @@ class ExperimentContext:
     #: Model scale: compact dimensions keep the CPU-only benchmark
     #: suite fast; "paper" uses larger dimensions and longer training.
     scale: str = "small"
+    #: Optional :class:`repro.sweep.banks.BankCache`: trained predictor
+    #: banks load from here when a matching artifact exists and are
+    #: stored here after training, so one training (by any process, in
+    #: any sweep) serves every later consumer of the same fingerprint.
+    bank_cache: "object | None" = None
     speed_model: SpeedModel = field(init=False)
+    #: How many banks this context actually trained / loaded from the
+    #: bank cache — the observable the exactly-once tests assert on.
+    bank_trainings: int = field(init=False, default=0)
+    bank_loads: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         if self.scale not in ("small", "paper"):
@@ -96,39 +105,108 @@ class ExperimentContext:
     def _sample_interval(self) -> float:
         return 5 * MINUTE if self.scale == "paper" else 10 * MINUTE
 
-    @cached_property
-    def revpred_bank(self) -> PredictorBank:
-        """RevPred models (Algorithm 2 labels, two-branch network)."""
+    _BANK_DELTA_MODES = {"revpred": "fluctuation", "tributary": "uniform"}
+
+    def _bank_model_factory(self, kind: str):
         dims = self._dims()
-        return train_predictor_bank(
+        if kind == "revpred":
+            return lambda seed: RevPredNetwork(rng=np.random.default_rng(seed), **dims)
+        if kind == "tributary":
+            return lambda seed: TributaryNetwork(
+                rng=np.random.default_rng(seed),
+                lstm_hidden=dims["lstm_hidden"],
+                lstm_layers=dims["lstm_layers"],
+            )
+        raise ValueError(f"unknown bank kind: {kind!r}")
+
+    def _bank_spec(self, kind: str) -> dict:
+        """Everything the trained weights of one bank depend on.
+
+        This dict is the bank-cache fingerprint payload: two contexts
+        share a cached bank exactly when retraining would reproduce the
+        identical artifact — same seed/scale, same data window, same
+        model dimensions, same trainer hyper-parameters and sampling.
+        """
+        from repro.sweep.scenario import SCHEMA_VERSION
+
+        trainer = self._trainer()
+        return {
+            "kind": kind,
+            "seed": self.seed,
+            "scale": self.scale,
+            # The sweep schema version is bumped whenever generated
+            # market data changes (it was, for the vectorised
+            # generator), and a bank is only as valid as the data it
+            # trained on — so data-invalidating bumps retire cached
+            # banks together with cached cells.
+            "cell_schema": SCHEMA_VERSION,
+            "days": TOTAL_DAYS,
+            "train_days": TRAIN_DAYS,
+            "dims": self._dims(),
+            "delta_mode": self._BANK_DELTA_MODES[kind],
+            "sample_interval": self._sample_interval(),
+            "trainer": {
+                "lr": trainer.lr,
+                "epochs": trainer.epochs,
+                "batch_size": trainer.batch_size,
+                "clip_norm": trainer.clip_norm,
+                "seed": trainer.seed,
+            },
+        }
+
+    def _train_bank(self, kind: str) -> PredictorBank:
+        from repro.sweep.banks import notify_trained
+
+        bank = train_predictor_bank(
             self.train_dataset,
             inference_dataset=self.dataset,
-            model_factory=lambda seed: RevPredNetwork(
-                rng=np.random.default_rng(seed), **dims
-            ),
-            delta_mode="fluctuation",
+            model_factory=self._bank_model_factory(kind),
+            delta_mode=self._BANK_DELTA_MODES[kind],
             sample_interval=self._sample_interval(),
             trainer=self._trainer(),
             seed=self.seed,
         )
+        self.bank_trainings += 1
+        notify_trained(self, kind)
+        return bank
+
+    def _bank(self, kind: str) -> PredictorBank:
+        """Load the bank from the cache, or train (and store) it.
+
+        The per-fingerprint lock makes training exactly-once across
+        concurrent workers: a sibling racing for the same bank blocks
+        until the winner stores it, then loads the artifact instead of
+        retraining.
+        """
+        if self.bank_cache is None:
+            return self._train_bank(kind)
+        spec = self._bank_spec(kind)
+        factory = self._bank_model_factory(kind)
+        with self.bank_cache.lock(spec):
+            bank = self.bank_cache.load(spec, factory, self.dataset)
+            if bank is not None:
+                self.bank_loads += 1
+                return bank
+            bank = self._train_bank(kind)
+            self.bank_cache.store(
+                spec,
+                bank,
+                model_seeds={
+                    name: self.seed + index
+                    for index, name in enumerate(self.train_dataset.instance_types)
+                },
+            )
+        return bank
+
+    @cached_property
+    def revpred_bank(self) -> PredictorBank:
+        """RevPred models (Algorithm 2 labels, two-branch network)."""
+        return self._bank("revpred")
 
     @cached_property
     def tributary_bank(self) -> PredictorBank:
         """Tributary Predict baseline (uniform deltas, single stream)."""
-        dims = self._dims()
-        return train_predictor_bank(
-            self.train_dataset,
-            inference_dataset=self.dataset,
-            model_factory=lambda seed: TributaryNetwork(
-                rng=np.random.default_rng(seed),
-                lstm_hidden=dims["lstm_hidden"],
-                lstm_layers=dims["lstm_layers"],
-            ),
-            delta_mode="uniform",
-            sample_interval=self._sample_interval(),
-            trainer=self._trainer(),
-            seed=self.seed,
-        )
+        return self._bank("tributary")
 
     def cached_revpred(self) -> CachingPredictor:
         """Fresh memoising view of the RevPred bank for one run."""
@@ -224,6 +302,8 @@ class ExperimentContext:
         return self._run_cache[key]
 
 
-def build_context(seed: int = 0, scale: str = "small") -> ExperimentContext:
+def build_context(
+    seed: int = 0, scale: str = "small", bank_cache=None
+) -> ExperimentContext:
     """Convenience constructor used by benchmarks and examples."""
-    return ExperimentContext(seed=seed, scale=scale)
+    return ExperimentContext(seed=seed, scale=scale, bank_cache=bank_cache)

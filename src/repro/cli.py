@@ -9,11 +9,14 @@ Commands:
 * ``trace --instance r3.xlarge [--days 12] [--out prices.csv]`` —
   generate and optionally export a synthetic spot-price dataset;
 * ``sweep [--spec grid.json] [--jobs N] [--resume]`` — run a
-  declarative scenario grid through the parallel sweep engine, with a
+  declarative scenario grid through the streaming sweep engine, with a
   fingerprint-keyed result cache (see README.md for the spec format).
-  Progress streams one line per completed cell and results persist
+  Progress streams one line per completed cell — in real completion
+  order, flushed so piped CI output sees it live — and results persist
   incrementally, so an interrupted sweep resumes with ``--resume``
-  re-running only the missing cells.
+  re-running only the missing cells.  Trained predictor banks persist
+  to a co-located bank cache (``--bank-cache``/``--no-bank-cache``), so
+  each bank trains exactly once across workers, sweeps, and resumes.
 """
 
 from __future__ import annotations
@@ -143,7 +146,13 @@ DEFAULT_SWEEP_SPEC = {
 
 
 def _print_cell_progress(index: int, total: int, cell) -> None:
-    """One line per completed cell, as it completes."""
+    """One line per completed cell, as it completes.
+
+    Explicitly flushed: under piped/redirected output (CI logs) stdout
+    is block-buffered, and an unflushed progress line would sit in the
+    buffer until the sweep exits — invisible exactly when streaming
+    progress matters.
+    """
     if cell.cached:
         status = "cached"
     else:
@@ -151,7 +160,15 @@ def _print_cell_progress(index: int, total: int, cell) -> None:
             f"cost={cell.summary['cost']:.2f}$ "
             f"jct={cell.summary['jct_hours']:.2f}h"
         )
-    print(f"[{index}/{total}] {cell.scenario.label()}: {status}", flush=True)
+        if cell.bank_trainings:
+            status += f" banks-trained={cell.bank_trainings}"
+    # The seed is spelled out because the stable cell label omits it,
+    # and streaming interleaves cells of different seeds.
+    print(
+        f"[{index}/{total}] seed={cell.scenario.seed} "
+        f"{cell.scenario.label()}: {status}",
+        flush=True,
+    )
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
@@ -181,12 +198,22 @@ def _run_sweep(args: argparse.Namespace) -> int:
         print(f"invalid sweep spec: {error}", file=sys.stderr)
         return 2
     cache = None if args.no_cache else args.cache_dir
+    if args.no_bank_cache:
+        bank_cache = False
+    else:
+        # None co-locates under the result cache (banks/ subdirectory).
+        bank_cache = args.bank_cache if args.bank_cache else None
     try:
-        runner = SweepRunner(jobs=args.jobs, cache=cache, resume=args.resume)
+        runner = SweepRunner(
+            jobs=args.jobs, cache=cache, resume=args.resume, bank_cache=bank_cache
+        )
     except ValueError as error:
         print(f"invalid sweep options: {error}", file=sys.stderr)
         return 2
     where = str(runner.cache.root) if runner.cache is not None else "disabled"
+    banks_where = (
+        str(runner.bank_cache.root) if runner.bank_cache is not None else "disabled"
+    )
     if runner.cache is not None:
         recovery = (
             f"completed cells are cached ({where}); rerun with --resume to "
@@ -210,10 +237,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
     print(format_table(
         summary_columns(), cells_table(result),
         title=f"== sweep: {len(result)} cells ==",
-    ))
+    ), flush=True)
     print(
         f"\nexecuted {result.executed_count} cell(s), {result.cached_count} from "
-        f"cache; jobs={args.jobs}, {elapsed:.1f}s wall; cache: {where}"
+        f"cache; trained {result.bank_trainings} predictor bank(s); "
+        f"jobs={args.jobs}, {elapsed:.1f}s wall; cache: {where}; banks: {banks_where}",
+        flush=True,
     )
     return 0
 
@@ -253,6 +282,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--no-cache", action="store_true", help="do not read or write the result cache"
+    )
+    sweep.add_argument(
+        "--bank-cache", metavar="DIR",
+        help="predictor-bank cache directory (default: <cache-dir>/banks)",
+    )
+    sweep.add_argument(
+        "--no-bank-cache", action="store_true",
+        help="retrain predictor banks instead of caching them on disk",
     )
     sweep.add_argument(
         "--resume", action="store_true",

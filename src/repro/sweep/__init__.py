@@ -7,11 +7,14 @@ the grid the first-class object:
 
 * :mod:`repro.sweep.scenario` — one :class:`Scenario` per grid cell,
   plus the declarative :class:`ScenarioGrid` cartesian product;
-* :mod:`repro.sweep.runner` — the :class:`SweepRunner` that fans
-  cells out over a process pool (or runs them in-process against a
-  shared :class:`~repro.analysis.context.ExperimentContext`);
+* :mod:`repro.sweep.runner` — the :class:`SweepRunner` that streams
+  cells through persistent pool workers (or runs them in-process
+  against a shared :class:`~repro.analysis.context.ExperimentContext`);
 * :mod:`repro.sweep.cache` — the fingerprint-keyed on-disk result
   cache that makes ``--resume`` skip completed cells;
+* :mod:`repro.sweep.banks` — the on-disk predictor-bank cache
+  (co-located under the result cache) that makes each bank train
+  exactly once across workers, sweeps, and resumes;
 * :mod:`repro.sweep.aggregate` — row/table shaping for the CLI and
   the figure runners.
 
@@ -28,6 +31,7 @@ does not abort its siblings; the sweep drains, then raises
 """
 
 from repro.sweep.aggregate import cells_table, summary_columns
+from repro.sweep.banks import BankCache, bank_fingerprint
 from repro.sweep.cache import SweepCache, canonical_json
 from repro.sweep.runner import (
     CellResult,
@@ -39,6 +43,7 @@ from repro.sweep.runner import (
 from repro.sweep.scenario import Scenario, ScenarioGrid
 
 __all__ = [
+    "BankCache",
     "CellResult",
     "Scenario",
     "ScenarioGrid",
@@ -46,6 +51,7 @@ __all__ = [
     "SweepCellError",
     "SweepResult",
     "SweepRunner",
+    "bank_fingerprint",
     "canonical_json",
     "cells_table",
     "run_scenario",

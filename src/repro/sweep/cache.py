@@ -5,6 +5,14 @@ canonically (sorted keys, no whitespace), so the same cell always
 produces byte-identical files — the determinism regression tests
 compare these bytes directly, and ``--resume`` loads them instead of
 re-simulating.
+
+The cache root also co-locates the predictor-bank cache (schema v3):
+the :data:`BANKS_SUBDIR` subdirectory holds one
+:class:`repro.sweep.banks.BankCache` artifact per trained bank, so a
+single ``--cache-dir`` carries both the cell summaries and the models
+they were computed with.  Cell entries live flat in the root
+(``<fingerprint>.json``), so the non-recursive globs here never
+confuse bank metadata for cell summaries.
 """
 
 from __future__ import annotations
@@ -20,6 +28,11 @@ from repro.sweep.scenario import SCHEMA_VERSION, Scenario
 #: Temp files older than this are orphans of a killed writer (a live
 #: write holds its temp for milliseconds) and are swept on open.
 _STALE_TMP_SECONDS = 3600.0
+
+#: Subdirectory of a result-cache root where the predictor-bank cache
+#: co-locates by default (``SweepRunner`` uses it unless given an
+#: explicit bank-cache location).
+BANKS_SUBDIR = "banks"
 
 
 def canonical_json(payload: Any) -> str:
@@ -47,6 +60,11 @@ class SweepCache:
                     tmp.unlink()
             except OSError:
                 continue  # already gone, or not ours to remove
+
+    @property
+    def banks_root(self) -> Path:
+        """Where the co-located predictor-bank cache lives."""
+        return self.root / BANKS_SUBDIR
 
     def path_for(self, scenario: Scenario) -> Path:
         return self.root / f"{scenario.fingerprint()}.json"

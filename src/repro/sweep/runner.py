@@ -1,4 +1,4 @@
-"""The sweep engine: fan scenarios out, summarise, cache, aggregate.
+"""The sweep engine: stream scenarios through persistent workers.
 
 ``run_scenario`` is the single code path that turns a
 :class:`~repro.sweep.scenario.Scenario` into a plain-data summary
@@ -7,27 +7,40 @@ dict, whichever way it is invoked — serially against a shared
 process of the :class:`SweepRunner` pool, or replayed one cell at a
 time with :meth:`SweepRunner.run_one`.  Summaries contain only JSON
 scalars/lists, so the three paths produce byte-identical canonical
-JSON for the same cell.
+JSON for the same cell — a guarantee that holds under *arbitrary* cell
+completion order, because the final :class:`SweepResult` is reordered
+to grid order regardless of which worker finished what first.
 
-Worker processes build their own experiment context lazily and memoise
-it per ``(seed, scale)`` — context construction is deterministic in
-the seed, so a pool run reproduces the serial results exactly.
+The pool path is a streaming executor: persistent workers consume
+individual cells from a task queue (``imap_unordered``, chunksize 1),
+and each completed cell flows back to the parent — and to ``on_cell``
+— the moment it finishes, not when a shard drains.  Workers build
+their experiment contexts lazily and keep a bounded LRU of live ones
+per ``(seed, scale)``, so cells from different seed groups can
+interleave through one worker without unbounded memory growth; context
+construction is deterministic in the seed, so a pool run reproduces
+the serial results exactly.
 
 Persistence is incremental: summaries hit the on-disk cache cell by
 cell as they complete (workers write their own cells on the pool
 path), never in a batch at the end, so nothing already finished is
-ever lost to a crash or interrupt.
+ever lost to a crash or interrupt.  Trained predictor banks persist
+the same way through the co-located :class:`~repro.sweep.banks
+.BankCache`: the first worker to need a bank trains and stores it,
+every other consumer — concurrent or in a later run — loads it.
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Iterable, Union
 
 from repro.market.trace import HOUR
+from repro.sweep import banks as banks_mod
+from repro.sweep.banks import BankCache
 from repro.sweep.cache import SweepCache
 from repro.sweep.scenario import Scenario, ScenarioGrid
 
@@ -41,7 +54,14 @@ _CONTEXT_CACHE: dict = {}
 _MAX_CACHED_CONTEXTS = 8
 
 
-def _context_for(seed: int, scale: str, context=None):
+#: "No opinion" marker for ``_context_for``'s ``bank_cache`` — library
+#: callers that don't pass one must leave a memoised context's bank
+#: cache untouched, while a SweepRunner always states its setting
+#: (including "disabled", i.e. ``None``).
+_BANK_CACHE_UNSET = object()
+
+
+def _context_for(seed: int, scale: str, context=None, bank_cache=_BANK_CACHE_UNSET):
     """The process-local context for ``(seed, scale)``.
 
     A caller-supplied context is used (and memoised) when it matches,
@@ -49,18 +69,38 @@ def _context_for(seed: int, scale: str, context=None):
     memoised runs — with the sweep.  Every hit, caller-supplied or
     not, goes through the same LRU touch/evict bookkeeping so the memo
     never grows past :data:`_MAX_CACHED_CONTEXTS`.
+
+    When ``bank_cache`` is given, memoised/worker-built contexts are
+    re-pointed at exactly that predictor-bank cache — including
+    ``None`` to detach one, so a runner configured with bank caching
+    disabled never keeps writing a cache memoised from an earlier
+    sweep in the same process.  A caller-supplied context keeps its
+    own bank cache (only a missing one is filled in): it belongs to
+    the caller, not the sweep.
     """
     key = (int(seed), scale)
-    if context is not None and (context.seed, context.scale) == key:
+    supplied = context is not None and (context.seed, context.scale) == key
+    if supplied:
         _CONTEXT_CACHE[key] = context
     elif key not in _CONTEXT_CACHE:
         from repro.analysis.context import build_context
 
-        _CONTEXT_CACHE[key] = build_context(seed=int(seed), scale=scale)
+        _CONTEXT_CACHE[key] = build_context(
+            seed=int(seed),
+            scale=scale,
+            bank_cache=None if bank_cache is _BANK_CACHE_UNSET else bank_cache,
+        )
     _CONTEXT_CACHE[key] = _CONTEXT_CACHE.pop(key)  # mark most recent
     while len(_CONTEXT_CACHE) > _MAX_CACHED_CONTEXTS:
         _CONTEXT_CACHE.pop(next(iter(_CONTEXT_CACHE)))
-    return _CONTEXT_CACHE[key]
+    ctx = _CONTEXT_CACHE[key]
+    if bank_cache is not _BANK_CACHE_UNSET:
+        if supplied:
+            if bank_cache is not None and getattr(ctx, "bank_cache", None) is None:
+                ctx.bank_cache = bank_cache
+        else:
+            ctx.bank_cache = bank_cache
+    return ctx
 
 
 def summarize_run(result) -> dict:
@@ -93,9 +133,11 @@ def summarize_run(result) -> dict:
     }
 
 
-def run_scenario(scenario: Scenario, context=None) -> dict:
+def run_scenario(
+    scenario: Scenario, context=None, bank_cache=_BANK_CACHE_UNSET
+) -> dict:
     """Simulate one grid cell and return its summary dict."""
-    ctx = _context_for(scenario.seed, scenario.scale, context)
+    ctx = _context_for(scenario.seed, scenario.scale, context, bank_cache)
     if scenario.approach == "spottune":
         result = ctx.spottune_run(
             scenario.workload,
@@ -110,38 +152,65 @@ def run_scenario(scenario: Scenario, context=None) -> dict:
     return summarize_run(result)
 
 
-def _pool_run_shard(
-    payload: tuple[list[dict], Union[str, None]]
-) -> list[tuple[str, Union[dict, None], Union[str, None]]]:
-    """Pool worker entry point: run one shard of cells, tag by id.
+#: Worker-local memo of (SweepCache, BankCache) handles keyed by their
+#: roots — a persistent worker runs many cell tasks and must not
+#: re-open (and mkdir-check) the caches on every one.
+_WORKER_CACHES: dict = {}
 
-    A shard holds cells of a single ``(seed, scale)``, so the worker
-    builds at most one experiment context per task.  Each cell's
-    summary is written to the result cache *here*, the moment it
-    exists — a later crash (of this worker, a sibling, or the parent)
-    cannot lose it.  A cell that raises is reported as
-    ``(fingerprint, None, error)`` and its shard siblings still run.
+
+def _caches_for(cache_root, bank_root):
+    key = (cache_root, bank_root)
+    if key not in _WORKER_CACHES:
+        # The parent's SweepCache already swept stale temp files; one
+        # directory scan per worker would be pure overhead.
+        _WORKER_CACHES[key] = (
+            SweepCache(cache_root, sweep_stale=False) if cache_root else None,
+            BankCache(bank_root) if bank_root else None,
+        )
+    return _WORKER_CACHES[key]
+
+
+def _pool_run_cell(
+    payload: tuple[dict, Union[str, None], Union[str, None]]
+) -> tuple[str, Union[dict, None], Union[str, None], int]:
+    """Pool worker entry point: run ONE cell, tag it by fingerprint.
+
+    One task per cell is what makes the executor streaming: the parent
+    learns about (and persists bookkeeping for) each cell the moment
+    its worker finishes it, with no shard barrier in between.  The
+    worker's :func:`_context_for` LRU keeps the contexts of recently
+    seen ``(seed, scale)`` groups alive, so interleaved seeds don't
+    rebuild contexts per cell.
+
+    The cell's summary is written to the result cache *here*, the
+    moment it exists — a later crash (of this worker, a sibling, or
+    the parent) cannot lose it.  A cell that raises is reported as
+    ``(fingerprint, None, error, trained)`` and its siblings still
+    run.  ``trained`` counts the predictor-bank trainings this cell
+    caused in this worker, so the parent can aggregate exactly-once
+    statistics across the pool.
     """
-    scenario_dicts, cache_root = payload
-    # The parent's SweepCache already swept stale temp files; one
-    # directory scan per shard task would be pure overhead.
-    cache = (
-        SweepCache(cache_root, sweep_stale=False) if cache_root is not None else None
+    scenario_dict, cache_root, bank_root = payload
+    scenario = Scenario.from_dict(scenario_dict)
+    cache, bank_cache = _caches_for(cache_root, bank_root)
+    trained_before = banks_mod.train_count()
+    try:
+        summary = run_scenario(scenario, bank_cache=bank_cache)
+    except Exception as error:  # noqa: BLE001 — isolate sibling cells
+        return (
+            scenario.fingerprint(),
+            None,
+            f"{type(error).__name__}: {error}",
+            banks_mod.train_count() - trained_before,
+        )
+    if cache is not None:
+        cache.store(scenario, summary)
+    return (
+        scenario.fingerprint(),
+        summary,
+        None,
+        banks_mod.train_count() - trained_before,
     )
-    results: list[tuple[str, Union[dict, None], Union[str, None]]] = []
-    for scenario_dict in scenario_dicts:
-        scenario = Scenario.from_dict(scenario_dict)
-        try:
-            summary = run_scenario(scenario)
-        except Exception as error:  # noqa: BLE001 — isolate sibling cells
-            results.append(
-                (scenario.fingerprint(), None, f"{type(error).__name__}: {error}")
-            )
-            continue
-        if cache is not None:
-            cache.store(scenario, summary)
-        results.append((scenario.fingerprint(), summary, None))
-    return results
 
 
 @dataclass
@@ -151,6 +220,11 @@ class CellResult:
     scenario: Scenario
     summary: dict
     cached: bool = False
+    #: Predictor-bank trainings this cell caused (0 for cache hits and
+    #: for cells whose bank was already trained or loaded).  Kept out
+    #: of ``summary`` on purpose: summaries must stay byte-identical
+    #: between a fresh run and a cache replay.
+    bank_trainings: int = 0
 
 
 class SweepCellError(RuntimeError):
@@ -208,8 +282,25 @@ class SweepResult:
     def cached_count(self) -> int:
         return sum(1 for cell in self.cells if cell.cached)
 
+    @property
+    def bank_trainings(self) -> int:
+        """Total predictor-bank trainings this sweep caused."""
+        return sum(cell.bank_trainings for cell in self.cells)
+
     def select(self, **matchers) -> list[CellResult]:
-        """Cells whose scenario fields equal every given matcher."""
+        """Cells whose scenario fields equal every given matcher.
+
+        Matcher names must be :class:`Scenario` fields — a typoed axis
+        would otherwise silently match nothing and read as an empty
+        slice of the sweep.
+        """
+        valid = {f.name for f in fields(Scenario)}
+        unknown = set(matchers) - valid
+        if unknown:
+            raise ValueError(
+                f"unknown scenario fields: {sorted(unknown)}; "
+                f"choose from {sorted(valid)}"
+            )
         return [
             cell
             for cell in self.cells
@@ -240,6 +331,12 @@ class SweepRunner:
         context: Optional prebuilt experiment context shared with the
             in-process path (ignored by pool workers, which build
             their own).
+        bank_cache: Where trained predictor banks persist.  ``None``
+            (the default) co-locates the bank cache under the result
+            cache root (``banks/`` subdirectory) when one is set;
+            ``False`` disables bank caching; a path or
+            :class:`~repro.sweep.banks.BankCache` pins an explicit
+            location (usable even without a result cache).
     """
 
     def __init__(
@@ -248,6 +345,7 @@ class SweepRunner:
         cache: Union[str, Path, SweepCache, None] = None,
         resume: bool = False,
         context=None,
+        bank_cache: Union[str, Path, BankCache, None, bool] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1: {jobs}")
@@ -255,13 +353,25 @@ class SweepRunner:
         self.cache = (
             cache if isinstance(cache, SweepCache) or cache is None else SweepCache(cache)
         )
+        if bank_cache is False:
+            self.bank_cache = None
+        elif bank_cache is None:
+            self.bank_cache = (
+                BankCache(self.cache.banks_root) if self.cache is not None else None
+            )
+        elif isinstance(bank_cache, BankCache):
+            self.bank_cache = bank_cache
+        else:
+            self.bank_cache = BankCache(bank_cache)
         self.resume = resume
         self._context = context
 
     # ------------------------------------------------------------------
     def run_one(self, scenario: Scenario) -> CellResult:
         """Deterministic in-process replay of a single cell."""
-        return CellResult(scenario, run_scenario(scenario, self._context))
+        return CellResult(
+            scenario, run_scenario(scenario, self._context, self.bank_cache)
+        )
 
     def run(
         self,
@@ -306,8 +416,9 @@ class SweepRunner:
             self._run_pool(pending, emit, failures)
         else:
             for scenario in pending:
+                trained_before = banks_mod.train_count()
                 try:
-                    summary = run_scenario(scenario, self._context)
+                    summary = run_scenario(scenario, self._context, self.bank_cache)
                 except Exception as error:  # noqa: BLE001 — drain siblings
                     failures.append(
                         (scenario, f"{type(error).__name__}: {error}")
@@ -315,7 +426,13 @@ class SweepRunner:
                     continue
                 if self.cache is not None:
                     self.cache.store(scenario, summary)
-                emit(CellResult(scenario, summary))
+                emit(
+                    CellResult(
+                        scenario,
+                        summary,
+                        bank_trainings=banks_mod.train_count() - trained_before,
+                    )
+                )
         if failures:
             raise SweepCellError(
                 failures,
@@ -326,12 +443,14 @@ class SweepRunner:
 
     # ------------------------------------------------------------------
     def _shards(self, pending: list[Scenario]) -> list[list[Scenario]]:
-        """Split cells into pool tasks, one ``(seed, scale)`` each.
+        """Partition cells into ``(seed, scale)`` groups for the queue.
 
         Building an experiment context (regenerating every market's
         price history) dominates small cells, so cells sharing a
         context stick together; buckets larger than an even ``jobs``-
-        way split are subdivided to keep all workers busy.
+        way split are subdivided so the round-robin of
+        :meth:`_task_order` spreads even a single-seed grid across all
+        workers.
         """
         buckets: dict[tuple[int, str], list[Scenario]] = {}
         for scenario in pending:
@@ -342,6 +461,25 @@ class SweepRunner:
             for start in range(0, len(bucket), target):
                 shards.append(bucket[start : start + target])
         return shards
+
+    def _task_order(self, pending: list[Scenario]) -> list[Scenario]:
+        """Queue order for streaming dispatch.
+
+        Round-robins across the :meth:`_shards` groups so the first
+        ``jobs`` tasks handed out belong to distinct shards — distinct
+        contexts get built (and distinct banks trained) concurrently at
+        sweep start — while cells of one shard keep their relative
+        order, landing on workers whose LRU still holds their context.
+        """
+        shards = self._shards(pending)
+        ordered: list[Scenario] = []
+        rank = 0
+        while len(ordered) < len(pending):
+            for shard in shards:
+                if rank < len(shard):
+                    ordered.append(shard[rank])
+            rank += 1
+        return ordered
 
     def _run_pool(self, pending, emit, failures) -> None:
         # Prefer fork where available: workers inherit any context the
@@ -356,19 +494,22 @@ class SweepRunner:
         mp = multiprocessing.get_context("fork" if "fork" in methods else None)
         by_fingerprint = {s.fingerprint(): s for s in pending}
         cache_root = str(self.cache.root) if self.cache is not None else None
-        shards = self._shards(pending)
-        with mp.Pool(processes=min(self.jobs, len(shards))) as pool:
-            results = pool.imap_unordered(
-                _pool_run_shard,
-                [([s.to_dict() for s in shard], cache_root) for shard in shards],
-                chunksize=1,
-            )
-            # Workers persisted each summary before returning it, so
-            # cells report here (and to on_cell) already crash-safe.
-            for shard_results in results:
-                for fingerprint, summary, error in shard_results:
-                    scenario = by_fingerprint[fingerprint]
-                    if error is not None:
-                        failures.append((scenario, error))
-                    else:
-                        emit(CellResult(scenario, summary))
+        bank_root = (
+            str(self.bank_cache.root) if self.bank_cache is not None else None
+        )
+        ordered = self._task_order(pending)
+        tasks = [(s.to_dict(), cache_root, bank_root) for s in ordered]
+        with mp.Pool(processes=min(self.jobs, len(tasks))) as pool:
+            results = pool.imap_unordered(_pool_run_cell, tasks, chunksize=1)
+            # One task per cell: each result streams back the moment
+            # its worker finishes it, already persisted and crash-safe,
+            # so on_cell (and the CLI progress line) fires in real
+            # completion order — no shard barrier.
+            for fingerprint, summary, error, trained in results:
+                scenario = by_fingerprint[fingerprint]
+                if error is not None:
+                    failures.append((scenario, error))
+                else:
+                    emit(
+                        CellResult(scenario, summary, bank_trainings=trained)
+                    )

@@ -27,7 +27,11 @@ from repro.sim.rng import RngStream
 #: v2: vectorised market generation (different float association in the
 #: latent price path), so cached summaries from the loop generator must
 #: not be replayed against the new one.
-SCHEMA_VERSION = 2
+#: v3: streaming executor + co-located predictor-bank cache — the cache
+#: root now reserves the ``banks/`` subdirectory and trained-predictor
+#: cells may be computed from a cached bank, so pre-bank-cache caches
+#: are not resumed against this layout.
+SCHEMA_VERSION = 3
 
 APPROACHES = ("spottune", "single_spot")
 PREDICTOR_KINDS = ("revpred", "tributary", "oracle", "constant")

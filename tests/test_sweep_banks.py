@@ -1,0 +1,280 @@
+"""Tests for the on-disk predictor-bank cache (ISSUE 4 tentpole).
+
+The load-bearing guarantees:
+
+* a stored bank reloads into bit-identical predictions on the held-out
+  (test-window) markets — the replay determinism contract extends to
+  cached banks;
+* each bank fingerprint trains exactly once — across the workers of
+  one ``jobs=2`` sweep, and across entirely separate sweep runs —
+  counted through the :data:`repro.sweep.banks.TRAINING_HOOKS` hook
+  and the per-cell training deltas the workers report back.
+
+Training is made cheap by patching the context's training
+hyper-parameters (1 epoch, tiny dimensions, sparse sampling); the
+patched values flow into the bank spec, so these artifacts can never
+be confused with full-size ones.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis.context import ExperimentContext
+from repro.cloud.instance import get_instance_type
+from repro.market.trace import MINUTE
+from repro.revpred.trainer import RevPredTrainer
+from repro.sweep import banks as banks_mod
+from repro.sweep import runner as runner_mod
+from repro.sweep.banks import BankCache, bank_fingerprint
+from repro.sweep.cache import SweepCache
+from repro.sweep.runner import SweepRunner
+from repro.sweep.scenario import ScenarioGrid
+
+
+@pytest.fixture()
+def tiny_training(monkeypatch):
+    """Shrink bank training to ~1s: 1 epoch, 4-unit nets, 2h samples.
+
+    Patched at the class level so pool workers (forked after the
+    patch) and every context built inside them train the same tiny
+    models — and so the bank spec fingerprint reflects the patched
+    hyper-parameters.
+    """
+    monkeypatch.setattr(
+        ExperimentContext,
+        "_trainer",
+        lambda self: RevPredTrainer(lr=0.005, epochs=1, batch_size=64, seed=self.seed),
+    )
+    monkeypatch.setattr(
+        ExperimentContext, "_sample_interval", lambda self: 120 * MINUTE
+    )
+    monkeypatch.setattr(
+        ExperimentContext,
+        "_dims",
+        lambda self: {"lstm_hidden": 4, "lstm_layers": 1, "fc_hidden": 4},
+    )
+
+
+@pytest.fixture()
+def training_log(monkeypatch):
+    """Record every bank training via the TRAINING_HOOKS hook."""
+    calls = []
+    monkeypatch.setattr(
+        banks_mod,
+        "TRAINING_HOOKS",
+        [lambda context, kind: calls.append((context.seed, kind))],
+    )
+    return calls
+
+
+@pytest.fixture()
+def fresh_contexts(monkeypatch):
+    """Empty the process-local context memo, as a fresh process would."""
+    monkeypatch.setattr(runner_mod, "_CONTEXT_CACHE", {})
+
+
+def revpred_grid(**axes) -> ScenarioGrid:
+    defaults = dict(workload="LiR", theta=0.7, predictor="revpred", seed=0)
+    defaults.update(axes)
+    return ScenarioGrid.from_axes(**defaults)
+
+
+class TestBankRoundTrip:
+    def test_reloaded_bank_predicts_identically_on_heldout_markets(
+        self, tmp_path, tiny_training
+    ):
+        cache = BankCache(tmp_path / "banks")
+        trained_ctx = ExperimentContext(seed=0, bank_cache=cache)
+        trained = trained_ctx.revpred_bank
+        assert trained_ctx.bank_trainings == 1
+        assert len(cache) == 1
+
+        loaded_ctx = ExperimentContext(seed=0, bank_cache=cache)
+        loaded = loaded_ctx.revpred_bank
+        assert loaded_ctx.bank_trainings == 0
+        assert loaded_ctx.bank_loads == 1
+
+        # Bit-identical predictions in the held-out test window, for
+        # every market in the pool.
+        for name in trained_ctx.dataset.instance_types:
+            instance = get_instance_type(name)
+            for hour in range(5):
+                t = trained_ctx.replay_start + hour * 3600.0
+                assert trained.probability(
+                    instance, t, instance.on_demand_price
+                ) == loaded.probability(instance, t, instance.on_demand_price)
+
+    def test_training_hook_fires_on_train_not_on_load(
+        self, tmp_path, tiny_training, training_log
+    ):
+        cache = BankCache(tmp_path / "banks")
+        ExperimentContext(seed=3, bank_cache=cache).revpred_bank
+        assert training_log == [(3, "revpred")]
+        ExperimentContext(seed=3, bank_cache=cache).revpred_bank
+        assert training_log == [(3, "revpred")]
+
+    def test_kinds_and_seeds_get_distinct_artifacts(self, tmp_path, tiny_training):
+        cache = BankCache(tmp_path / "banks")
+        ctx = ExperimentContext(seed=0, bank_cache=cache)
+        ctx.revpred_bank
+        ctx.tributary_bank
+        other = ExperimentContext(seed=1, bank_cache=cache)
+        other.revpred_bank
+        assert len(cache) == 3
+        assert ctx.bank_trainings == 2
+        assert other.bank_trainings == 1
+
+    def test_fingerprint_pins_training_hyperparameters(self, tiny_training):
+        ctx = ExperimentContext(seed=0)
+        spec = ctx._bank_spec("revpred")
+        assert spec["trainer"]["epochs"] == 1
+        assert spec["dims"]["lstm_hidden"] == 4
+        altered = dict(spec, trainer=dict(spec["trainer"], epochs=2))
+        assert bank_fingerprint(spec) != bank_fingerprint(altered)
+
+
+class TestBankCacheIntegrity:
+    def test_corrupt_meta_reads_as_miss_retrains_and_repairs(
+        self, tmp_path, tiny_training
+    ):
+        cache = BankCache(tmp_path / "banks")
+        first = ExperimentContext(seed=0, bank_cache=cache)
+        first.revpred_bank
+        meta = cache.path_for(first._bank_spec("revpred")) / "meta.json"
+        meta.write_text("{not json")
+        again = ExperimentContext(seed=0, bank_cache=cache)
+        again.revpred_bank
+        assert again.bank_trainings == 1
+        # The retrained bank *replaced* the broken occupant of its
+        # slot — a corrupt artifact must not defeat the cache forever.
+        third = ExperimentContext(seed=0, bank_cache=cache)
+        third.revpred_bank
+        assert third.bank_trainings == 0
+        assert third.bank_loads == 1
+
+    def test_store_keeps_an_intact_concurrent_artifact(self, tmp_path, tiny_training):
+        cache = BankCache(tmp_path / "banks")
+        ctx = ExperimentContext(seed=0, bank_cache=cache)
+        bank = ctx.revpred_bank
+        spec = ctx._bank_spec("revpred")
+        marker = cache.path_for(spec) / "meta.json"
+        before = marker.stat().st_mtime_ns
+        # Storing into an occupied, intact slot keeps the occupant.
+        cache.store(
+            spec,
+            bank,
+            model_seeds={
+                name: index for index, name in enumerate(ctx.dataset.instance_types)
+            },
+        )
+        assert marker.stat().st_mtime_ns == before
+
+    def test_stale_tmp_dirs_swept_and_never_counted(self, tmp_path, tiny_training):
+        cache = BankCache(tmp_path / "banks")
+        ExperimentContext(seed=0, bank_cache=cache).revpred_bank
+        orphan = cache.root / "deadbeef.tmp12345"
+        orphan.mkdir()
+        (orphan / "meta.json").write_text("{}")
+        assert len(cache) == 1  # in-flight/orphaned temps are not banks
+        ancient = time.time() - 7200
+        os.utime(orphan, (ancient, ancient))
+        BankCache(cache.root)  # reopening sweeps the stale orphan
+        assert not orphan.exists()
+
+    def test_tampered_spec_reads_as_miss(self, tmp_path, tiny_training):
+        cache = BankCache(tmp_path / "banks")
+        ctx = ExperimentContext(seed=0, bank_cache=cache)
+        ctx.revpred_bank
+        spec = ctx._bank_spec("revpred")
+        meta_path = cache.path_for(spec) / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["bank"]["seed"] = 999  # artifact no longer matches its slot
+        meta_path.write_text(json.dumps(meta))
+        assert cache.load(spec, ctx._bank_model_factory("revpred"), ctx.dataset) is None
+
+    def test_missing_weight_file_reads_as_miss(self, tmp_path, tiny_training):
+        cache = BankCache(tmp_path / "banks")
+        ctx = ExperimentContext(seed=0, bank_cache=cache)
+        ctx.revpred_bank
+        spec = ctx._bank_spec("revpred")
+        name = ctx.dataset.instance_types[0]
+        (cache.path_for(spec) / f"{name}.npz").unlink()
+        assert cache.load(spec, ctx._bank_model_factory("revpred"), ctx.dataset) is None
+
+
+class TestExactlyOnceTraining:
+    def test_second_sweep_run_executes_zero_bank_trainings(
+        self, tmp_path, tiny_training, training_log, fresh_contexts, monkeypatch
+    ):
+        cache_dir = tmp_path / "cells"
+        first = SweepRunner(cache=cache_dir).run(revpred_grid())
+        assert first.bank_trainings == 1
+        assert training_log == [(0, "revpred")]
+        # A fresh process (emptied context memo) re-simulating the same
+        # cell must load the bank, not retrain it.
+        monkeypatch.setattr(runner_mod, "_CONTEXT_CACHE", {})
+        second = SweepRunner(cache=cache_dir).run(revpred_grid())
+        assert second.executed_count == 1
+        assert second.bank_trainings == 0
+        assert training_log == [(0, "revpred")]
+
+    def test_two_seed_pool_trains_each_bank_exactly_once(
+        self, tmp_path, tiny_training, fresh_contexts, monkeypatch
+    ):
+        """ISSUE 4 acceptance: a 2-seed ``jobs=2`` grid trains each
+        predictor bank exactly once, even with cells of both seeds
+        interleaved through the streaming queue."""
+        grid = revpred_grid(theta=[0.7, 1.0], seed=[0, 1])
+        cache_dir = tmp_path / "cells"
+        result = SweepRunner(jobs=2, cache=cache_dir).run(grid)
+        assert result.executed_count == 4
+        assert result.bank_trainings == 2  # one per seed, never more
+        assert len(BankCache(SweepCache(cache_dir).banks_root)) == 2
+        # A rerun (fresh workers, no resume) re-simulates every cell
+        # but loads every bank from the first run's artifacts.
+        monkeypatch.setattr(runner_mod, "_CONTEXT_CACHE", {})
+        rerun = SweepRunner(jobs=2, cache=cache_dir).run(grid)
+        assert rerun.executed_count == 4
+        assert rerun.bank_trainings == 0
+
+    def test_bank_cache_disabled_retrains_per_run(
+        self, tmp_path, tiny_training, training_log, fresh_contexts, monkeypatch
+    ):
+        cache_dir = tmp_path / "cells"
+        SweepRunner(cache=cache_dir, bank_cache=False).run(revpred_grid())
+        monkeypatch.setattr(runner_mod, "_CONTEXT_CACHE", {})
+        SweepRunner(cache=cache_dir, bank_cache=False).run(revpred_grid())
+        assert training_log == [(0, "revpred"), (0, "revpred")]
+        assert not SweepCache(cache_dir).banks_root.exists()
+
+    def test_later_runner_overrides_a_memoised_bank_cache(
+        self, tmp_path, tiny_training, fresh_contexts
+    ):
+        """A memoised context must follow each runner's bank-cache
+        setting — a runner with bank caching disabled must not keep
+        using (or reporting against) a cache attached by an earlier
+        sweep in the same process."""
+        first = SweepRunner(cache=tmp_path / "one").run(revpred_grid())
+        assert first.bank_trainings == 1
+        # Same process, same memoised context, bank caching disabled:
+        # the bank was memoised on the context, but the detached cache
+        # must not receive anything new.
+        second = SweepRunner(cache=tmp_path / "two", bank_cache=False).run(
+            revpred_grid(theta=0.8)
+        )
+        assert second.bank_trainings == 0  # cached_property still memoised
+        assert not SweepCache(tmp_path / "two").banks_root.exists()
+        ctx = runner_mod._CONTEXT_CACHE[(0, "small")]
+        assert ctx.bank_cache is None
+
+    def test_caller_supplied_context_keeps_its_own_bank_cache(
+        self, tmp_path, tiny_training, fresh_contexts
+    ):
+        own = BankCache(tmp_path / "own")
+        ctx = ExperimentContext(seed=0, bank_cache=own)
+        SweepRunner(context=ctx, bank_cache=False).run(revpred_grid())
+        assert ctx.bank_cache is own  # the sweep never strips it
+        assert len(own) == 1

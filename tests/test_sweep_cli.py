@@ -34,14 +34,21 @@ class TestParser:
         assert args.resume is False
         assert args.cache_dir == ".repro-sweep-cache"
 
+    def test_sweep_defaults_bank_cache_co_located(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.bank_cache is None
+        assert args.no_bank_cache is False
+
     def test_sweep_arguments(self):
         args = build_parser().parse_args(
-            ["sweep", "--spec", "g.json", "--jobs", "4", "--resume", "--cache-dir", "c"]
+            ["sweep", "--spec", "g.json", "--jobs", "4", "--resume", "--cache-dir", "c",
+             "--bank-cache", "b"]
         )
         assert args.spec == "g.json"
         assert args.jobs == 4
         assert args.resume is True
         assert args.cache_dir == "c"
+        assert args.bank_cache == "b"
 
 
 class TestSweepCommand:
@@ -85,6 +92,59 @@ class TestSweepCommand:
         assert "executed 0 cell(s), 4 from cache" in out
         resumed = [line for line in out.splitlines() if line.startswith("LiR")]
         assert resumed == first
+
+    def test_bank_report_and_co_located_bank_cache(self, tmp_path, spec_path, capsys):
+        cache_dir = tmp_path / "cells"
+        assert (
+            main(["sweep", "--spec", str(spec_path), "--cache-dir", str(cache_dir)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        # Oracle/constant cells never touch a trained bank.
+        assert "trained 0 predictor bank(s)" in out
+        assert f"banks: {cache_dir / 'banks'}" in out
+        assert (cache_dir / "banks").is_dir()
+        # Bank metadata never pollutes the cell-summary namespace.
+        assert len(list(cache_dir.glob("*.json"))) == 4
+
+    def test_no_bank_cache_disables_bank_persistence(
+        self, tmp_path, spec_path, capsys
+    ):
+        cache_dir = tmp_path / "cells"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec",
+                    str(spec_path),
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--no-bank-cache",
+                ]
+            )
+            == 0
+        )
+        assert "banks: disabled" in capsys.readouterr().out
+        assert not (cache_dir / "banks").exists()
+
+    def test_explicit_bank_cache_location(self, tmp_path, spec_path, capsys):
+        bank_dir = tmp_path / "my-banks"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec",
+                    str(spec_path),
+                    "--cache-dir",
+                    str(tmp_path / "cells"),
+                    "--bank-cache",
+                    str(bank_dir),
+                ]
+            )
+            == 0
+        )
+        assert f"banks: {bank_dir}" in capsys.readouterr().out
+        assert bank_dir.is_dir()
 
     def test_no_cache_leaves_no_directory(self, tmp_path, spec_path, capsys):
         cache_dir = tmp_path / "cells"
@@ -139,10 +199,10 @@ class TestSweepCommand:
 
         real = runner_mod.run_scenario
 
-        def boom(scenario, context=None):
+        def boom(scenario, context=None, bank_cache=None):
             if scenario.predictor == "constant":
                 raise RuntimeError("injected failure")
-            return real(scenario, context)
+            return real(scenario, context, bank_cache)
 
         monkeypatch.setattr(runner_mod, "run_scenario", boom)
         cache_dir = tmp_path / "cells"

@@ -1,0 +1,98 @@
+"""Property tests for the sweep task-queue partitioner.
+
+``SweepRunner._shards`` groups pending cells by ``(seed, scale)`` and
+``_task_order`` flattens those groups into the streaming dispatch
+queue.  For random grids and worker counts, the invariants that keep
+the executor correct:
+
+* every pending scenario appears exactly once (nothing dropped or
+  duplicated — a dropped cell would silently vanish from the sweep, a
+  duplicated one would double-simulate and race on its cache slot);
+* no shard is empty (an empty task would wedge a pool worker on
+  nothing);
+* every shard is context-homogeneous and bounded by the even
+  ``jobs``-way split target;
+* the queue is a permutation of the pending cells that preserves each
+  shard's internal order.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sweep.runner import SweepRunner
+from repro.sweep.scenario import Scenario, ScenarioGrid
+
+#: Small axis pools keep scenario construction cheap while still
+#: generating many distinct (seed, scale) groupings and duplicates
+#: (ScenarioGrid de-duplicates, mirroring real sweep input).
+cells = st.lists(
+    st.tuples(
+        st.sampled_from(["LiR", "LoR", "SVM"]),
+        st.sampled_from([0.3, 0.5, 0.7, 1.0]),
+        st.integers(min_value=0, max_value=5),
+        st.sampled_from(["small", "paper"]),
+    ),
+    min_size=1,
+    max_size=40,
+)
+jobs = st.integers(min_value=1, max_value=8)
+
+
+def pending_from(raw) -> list:
+    return list(
+        ScenarioGrid(
+            Scenario(workload=w, theta=t, predictor="oracle", seed=s, scale=scale)
+            for w, t, s, scale in raw
+        )
+    )
+
+
+@settings(deadline=None, max_examples=60)
+@given(raw=cells, jobs=jobs)
+def test_shards_partition_pending_exactly(raw, jobs):
+    pending = pending_from(raw)
+    shards = SweepRunner(jobs=jobs)._shards(pending)
+
+    flat = [scenario for shard in shards for scenario in shard]
+    assert sorted(s.fingerprint() for s in flat) == sorted(
+        s.fingerprint() for s in pending
+    )  # exactly once, nothing lost or duplicated
+    assert all(shards)  # no empty shards
+
+    target = max(1, math.ceil(len(pending) / jobs))
+    for shard in shards:
+        # One experiment context per shard...
+        assert len({(s.seed, s.scale) for s in shard}) == 1
+        # ...and no shard hoards more than the even split target.
+        assert len(shard) <= target
+
+
+@settings(deadline=None, max_examples=60)
+@given(raw=cells, jobs=jobs)
+def test_task_order_is_a_shard_order_preserving_permutation(raw, jobs):
+    pending = pending_from(raw)
+    runner = SweepRunner(jobs=jobs)
+    ordered = runner._task_order(pending)
+
+    assert sorted(s.fingerprint() for s in ordered) == sorted(
+        s.fingerprint() for s in pending
+    )  # a permutation: the queue holds every cell exactly once
+    position = {s.fingerprint(): i for i, s in enumerate(ordered)}
+    for shard in runner._shards(pending):
+        positions = [position[s.fingerprint()] for s in shard]
+        assert positions == sorted(positions)  # per-shard order preserved
+
+
+@settings(deadline=None, max_examples=60)
+@given(raw=cells, jobs=jobs)
+def test_task_order_interleaves_distinct_contexts_first(raw, jobs):
+    """The head of the queue spreads across distinct shards, so the
+    first ``jobs`` dispatches never pile onto one context."""
+    pending = pending_from(raw)
+    runner = SweepRunner(jobs=jobs)
+    shards = runner._shards(pending)
+    head = runner._task_order(pending)[: len(shards)]
+    first_cells = {shard[0].fingerprint() for shard in shards}
+    assert {s.fingerprint() for s in head} == first_cells

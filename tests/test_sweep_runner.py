@@ -11,7 +11,9 @@ from repro.analysis.context import build_context
 from repro.sweep import runner as runner_mod
 from repro.sweep.cache import SweepCache, canonical_json
 from repro.sweep.runner import (
+    CellResult,
     SweepCellError,
+    SweepResult,
     SweepRunner,
     run_scenario,
     summarize_run,
@@ -86,6 +88,39 @@ class TestSweepResult:
             result.one(workload="LiR")  # two matches
         with pytest.raises(KeyError):
             result.one(workload="nope")  # zero matches
+
+    @staticmethod
+    def canned_result() -> SweepResult:
+        return SweepResult(
+            CellResult(
+                Scenario(workload="LiR", theta=theta, predictor="oracle"),
+                {"cost": theta},
+            )
+            for theta in (0.7, 1.0)
+        )
+
+    def test_select_no_match_returns_empty_list(self):
+        assert self.canned_result().select(workload="SVM") == []
+
+    def test_one_reports_match_count_in_error(self):
+        result = self.canned_result()
+        with pytest.raises(KeyError, match="found 0"):
+            result.one(workload="SVM")
+        with pytest.raises(KeyError, match="found 2"):
+            result.one(workload="LiR")
+
+    def test_non_axis_matcher_rejected_with_field_names(self):
+        result = self.canned_result()
+        with pytest.raises(ValueError, match="gpu_count") as excinfo:
+            result.select(gpu_count=2)
+        assert "theta" in str(excinfo.value)  # names the valid fields
+        with pytest.raises(ValueError, match="unknown scenario fields"):
+            result.one(workload="LiR", thteta=0.7)
+
+    def test_select_combines_matchers_conjunctively(self):
+        result = self.canned_result()
+        assert len(result.select(workload="LiR", theta=0.7)) == 1
+        assert result.select(workload="LiR", theta=0.3) == []
 
 
 class TestCache:
@@ -215,10 +250,10 @@ class TestFailureIsolation:
     def failing_run_scenario(self, monkeypatch):
         real = runner_mod.run_scenario
 
-        def boom(scenario, context=None):
+        def boom(scenario, context=None, bank_cache=None):
             if scenario.theta == 1.0:
                 raise RuntimeError("injected cell failure")
-            return real(scenario, context)
+            return real(scenario, context, bank_cache)
 
         monkeypatch.setattr(runner_mod, "run_scenario", boom)
 
@@ -300,6 +335,95 @@ class TestContextMemoBookkeeping:
         runner_mod._context_for(99, "small", self.FakeContext(99))
         assert (0, "small") in runner_mod._CONTEXT_CACHE
         assert (1, "small") not in runner_mod._CONTEXT_CACHE
+
+
+class TestStreamingOrderIndependence:
+    """ISSUE 4 acceptance: byte-identical serial/streaming/resume
+    replay, strengthened to hold under arbitrary cell completion
+    order — the streaming queue is shuffled so cells of interleaved
+    seeds finish in an order unrelated to the grid's."""
+
+    @staticmethod
+    def interleaved_grid() -> ScenarioGrid:
+        return ScenarioGrid.from_axes(
+            workload="LiR", theta=[0.7, 1.0], predictor="oracle", seed=[0, 1]
+        )
+
+    @pytest.fixture()
+    def shuffled_queue(self, monkeypatch):
+        import random
+
+        real = SweepRunner._task_order
+
+        def shuffled(self, pending):
+            ordered = real(self, pending)
+            random.Random(0xC0FFEE).shuffle(ordered)
+            return ordered
+
+        monkeypatch.setattr(SweepRunner, "_task_order", shuffled)
+
+    def test_serial_streaming_and_partial_resume_byte_identical(
+        self, context, tmp_path, shuffled_queue
+    ):
+        grid = self.interleaved_grid()
+        serial = SweepRunner(jobs=1, context=context).run(grid)
+
+        cache_dir = tmp_path / "cells"
+        streamed = SweepRunner(jobs=4, cache=cache_dir).run(grid)
+        # Result order is grid order no matter what completed first.
+        assert [cell.scenario for cell in streamed] == list(grid)
+
+        # Resume from a *partial* cache: half the persisted cells are
+        # deleted, so the resumed sweep mixes cache hits with shuffled
+        # streaming re-executions.
+        for stale in sorted(cache_dir.glob("*.json"))[::2]:
+            stale.unlink()
+        resumed = SweepRunner(jobs=4, cache=cache_dir, resume=True).run(grid)
+        assert resumed.cached_count == 2
+        assert resumed.executed_count == 2
+
+        assert (
+            summary_bytes(serial)
+            == summary_bytes(streamed)
+            == summary_bytes(resumed)
+        )
+
+    def test_on_cell_streams_in_completion_order(self, tmp_path, shuffled_queue):
+        seen = []
+        SweepRunner(jobs=2, cache=tmp_path / "c").run(
+            self.interleaved_grid(),
+            on_cell=lambda i, n, cell: seen.append((i, n)),
+        )
+        # One callback per cell, indexes counting up as cells complete.
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+
+class TestTaskOrder:
+    def test_round_robins_across_seed_groups(self):
+        grid = ScenarioGrid.from_axes(
+            workload="LiR", theta=[0.7, 1.0], predictor="oracle", seed=[0, 1]
+        )
+        ordered = SweepRunner(jobs=2)._task_order(list(grid))
+        # The first `jobs` tasks touch distinct contexts, so workers
+        # build different (seed, scale) datasets concurrently.
+        assert {s.seed for s in ordered[:2]} == {0, 1}
+        assert sorted(s.fingerprint() for s in ordered) == sorted(
+            s.fingerprint() for s in grid
+        )
+
+    def test_preserves_relative_order_within_a_shard(self):
+        grid = ScenarioGrid.from_axes(
+            workload="LiR",
+            theta=[0.1, 0.2, 0.3, 0.4],
+            predictor="oracle",
+            seed=[0, 1],
+        )
+        pending = list(grid)
+        runner = SweepRunner(jobs=2)
+        ordered = runner._task_order(pending)
+        for shard in runner._shards(pending):
+            positions = [ordered.index(s) for s in shard]
+            assert positions == sorted(positions)
 
 
 class TestShards:
