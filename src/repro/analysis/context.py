@@ -232,9 +232,10 @@ class ExperimentContext:
         checkpoint_policy: str = "notice",
         reschedule_after: float = 3600.0,
         refund_enabled: bool = True,
+        mcnt: int = 3,
     ):
         """Memoised SpotTune run for one (workload, theta, predictor,
-        checkpoint policy, ablation knobs) cell."""
+        checkpoint policy, ablation knobs, mcnt) cell."""
         from repro.core.checkpoint_policy import policy_from_spec
         from repro.core.config import SpotTuneConfig
         from repro.core.orchestrator import SpotTuneOrchestrator
@@ -253,6 +254,7 @@ class ExperimentContext:
             checkpoint_policy,
             reschedule_after,
             refund_enabled,
+            mcnt,
         )
         if key not in self._run_cache:
             if predictor_kind == "revpred":
@@ -272,7 +274,10 @@ class ExperimentContext:
                 self.dataset,
                 predictor,
                 SpotTuneConfig(
-                    theta=theta, seed=self.seed, reschedule_after=reschedule_after
+                    theta=theta,
+                    seed=self.seed,
+                    reschedule_after=reschedule_after,
+                    mcnt=mcnt,
                 ),
                 speed_model=self.speed_model,
                 start_time=self.replay_start,
@@ -282,13 +287,13 @@ class ExperimentContext:
             self._run_cache[key] = orchestrator.run()
         return self._run_cache[key]
 
-    def baseline_run(self, workload_name: str, instance_name: str):
+    def baseline_run(self, workload_name: str, instance_name: str, mcnt: int = 3):
         """Memoised Single-Spot baseline run."""
         from repro.core.baselines import run_single_spot
         from repro.workloads.catalog import get_workload
         from repro.workloads.trial import make_trials
 
-        key = ("baseline", workload_name, instance_name)
+        key = ("baseline", workload_name, instance_name, mcnt)
         if key not in self._run_cache:
             workload = get_workload(workload_name)
             self._run_cache[key] = run_single_spot(
@@ -298,6 +303,7 @@ class ExperimentContext:
                 instance_name,
                 speed_model=self.speed_model,
                 start_time=self.replay_start,
+                mcnt=mcnt,
             )
         return self._run_cache[key]
 

@@ -12,11 +12,23 @@ Commands:
   declarative scenario grid through the streaming sweep engine, with a
   fingerprint-keyed result cache (see README.md for the spec format).
   Progress streams one line per completed cell — in real completion
-  order, flushed so piped CI output sees it live — and results persist
-  incrementally, so an interrupted sweep resumes with ``--resume``
-  re-running only the missing cells.  Trained predictor banks persist
-  to a co-located bank cache (``--bank-cache``/``--no-bank-cache``), so
-  each bank trains exactly once across workers, sweeps, and resumes.
+  order, with the remaining queue depth and elapsed seconds, flushed
+  so piped CI output sees it live — and results persist incrementally,
+  so an interrupted sweep resumes with ``--resume`` re-running only
+  the missing cells.  Trained predictor banks persist to a co-located
+  bank cache (``--bank-cache``/``--no-bank-cache``), so each bank
+  trains exactly once across workers, sweeps, and resumes.
+* ``sweep --distributed [--queue DIR] [--jobs N]`` — run the same grid
+  through the filesystem task broker instead of the in-process pool:
+  the grid is enqueued under the cache root, ``--jobs`` local worker
+  processes are launched (0 = coordinate only), and any number of
+  additional ``repro sweep-worker`` processes — other machines sharing
+  the directory included — drain it alongside them.
+* ``sweep-worker --queue DIR`` — join a distributed sweep as one
+  disposable worker: claim cells under expiring leases, execute them,
+  persist summaries to the sweep's cache, repeat until the sweep is
+  complete.  SIGKILLing a worker mid-cell only delays that cell by one
+  lease TTL; a survivor re-leases and re-runs it.
 """
 
 from __future__ import annotations
@@ -145,30 +157,38 @@ DEFAULT_SWEEP_SPEC = {
 }
 
 
-def _print_cell_progress(index: int, total: int, cell) -> None:
+class _CellProgressPrinter:
     """One line per completed cell, as it completes.
 
-    Explicitly flushed: under piped/redirected output (CI logs) stdout
-    is block-buffered, and an unflushed progress line would sit in the
-    buffer until the sweep exits — invisible exactly when streaming
-    progress matters.
+    Each line carries the remaining queue depth and the elapsed wall
+    seconds, so a tailing operator (or CI log) can see both *where* the
+    sweep is and *how fast* it is draining.  Explicitly flushed: under
+    piped/redirected output stdout is block-buffered, and an unflushed
+    progress line would sit in the buffer until the sweep exits —
+    invisible exactly when streaming progress matters.
     """
-    if cell.cached:
-        status = "cached"
-    else:
-        status = (
-            f"cost={cell.summary['cost']:.2f}$ "
-            f"jct={cell.summary['jct_hours']:.2f}h"
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+
+    def __call__(self, index: int, total: int, cell) -> None:
+        if cell.cached:
+            status = "cached"
+        else:
+            status = (
+                f"cost={cell.summary['cost']:.2f}$ "
+                f"jct={cell.summary['jct_hours']:.2f}h"
+            )
+            if cell.bank_trainings:
+                status += f" banks-trained={cell.bank_trainings}"
+        elapsed = time.perf_counter() - self._started
+        # The seed is spelled out because the stable cell label omits
+        # it, and streaming interleaves cells of different seeds.
+        print(
+            f"[{index}/{total}] queue={total - index} t={elapsed:.1f}s "
+            f"seed={cell.scenario.seed} {cell.scenario.label()}: {status}",
+            flush=True,
         )
-        if cell.bank_trainings:
-            status += f" banks-trained={cell.bank_trainings}"
-    # The seed is spelled out because the stable cell label omits it,
-    # and streaming interleaves cells of different seeds.
-    print(
-        f"[{index}/{total}] seed={cell.scenario.seed} "
-        f"{cell.scenario.label()}: {status}",
-        flush=True,
-    )
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
@@ -176,10 +196,31 @@ def _run_sweep(args: argparse.Namespace) -> int:
         ScenarioGrid,
         SweepCellError,
         SweepRunner,
+        canonical_json,
         cells_table,
         summary_columns,
     )
+    from repro.sweep.distrib import (
+        DEFAULT_LEASE_TTL,
+        DistributedSweepRunner,
+        QueueError,
+    )
 
+    if args.jobs < 1 and not args.distributed:
+        print(
+            f"invalid sweep options: jobs must be >= 1, got {args.jobs} "
+            "(--distributed --jobs 0 coordinates external sweep-worker "
+            "processes instead)",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.distributed and (args.queue or args.lease_ttl is not None):
+        print(
+            "invalid sweep options: --queue/--lease-ttl configure the "
+            "task broker and need --distributed",
+            file=sys.stderr,
+        )
+        return 2
     if args.spec:
         try:
             spec = json.loads(Path(args.spec).read_text())
@@ -204,9 +245,26 @@ def _run_sweep(args: argparse.Namespace) -> int:
         # None co-locates under the result cache (banks/ subdirectory).
         bank_cache = args.bank_cache if args.bank_cache else None
     try:
-        runner = SweepRunner(
-            jobs=args.jobs, cache=cache, resume=args.resume, bank_cache=bank_cache
-        )
+        if args.distributed:
+            if cache is None:
+                raise ValueError(
+                    "--distributed needs the result cache (summaries travel "
+                    "from workers to the coordinator through it); drop --no-cache"
+                )
+            runner = DistributedSweepRunner(
+                cache=cache,
+                queue_dir=args.queue,
+                jobs=args.jobs,
+                resume=args.resume,
+                bank_cache=bank_cache,
+                lease_ttl=(
+                    args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL
+                ),
+            )
+        else:
+            runner = SweepRunner(
+                jobs=args.jobs, cache=cache, resume=args.resume, bank_cache=bank_cache
+            )
     except ValueError as error:
         print(f"invalid sweep options: {error}", file=sys.stderr)
         return 2
@@ -223,7 +281,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
         recovery = "cache disabled, completed cells were not persisted"
     started = time.perf_counter()
     try:
-        result = runner.run(grid, on_cell=_print_cell_progress)
+        result = runner.run(grid, on_cell=_CellProgressPrinter())
+    except QueueError as error:
+        print(f"cannot start distributed sweep: {error}", file=sys.stderr)
+        return 2
     except SweepCellError as error:
         # Completed cells are already on disk; only failures re-run.
         for scenario, message in error.failures:
@@ -238,13 +299,69 @@ def _run_sweep(args: argparse.Namespace) -> int:
         summary_columns(), cells_table(result),
         title=f"== sweep: {len(result)} cells ==",
     ), flush=True)
+    mode = f"queue: {runner.queue_dir}" if args.distributed else f"jobs={args.jobs}"
     print(
         f"\nexecuted {result.executed_count} cell(s), {result.cached_count} from "
         f"cache; trained {result.bank_trainings} predictor bank(s); "
-        f"jobs={args.jobs}, {elapsed:.1f}s wall; cache: {where}; banks: {banks_where}",
+        f"{mode}, {elapsed:.1f}s wall; cache: {where}; banks: {banks_where}",
         flush=True,
     )
+    if args.out:
+        # Grid-ordered canonical JSON — two runs of the same grid are
+        # byte-comparable with `cmp`, whatever executed them.
+        Path(args.out).write_text(canonical_json(result.summaries()) + "\n")
+        print(f"wrote {args.out}", flush=True)
     return 0
+
+
+def _run_sweep_worker(args: argparse.Namespace) -> int:
+    from repro.sweep.distrib import QueueError, SweepWorker, TaskQueue
+
+    try:
+        queue = TaskQueue.attach(args.queue, wait_seconds=args.wait_manifest)
+    except QueueError as error:
+        print(f"cannot join sweep: {error}", file=sys.stderr)
+        return 2
+
+    def on_claim(lease):
+        # Printed *before* the cell executes (and flushed): the signal
+        # harnesses use to kill a worker provably mid-cell.
+        print(
+            f"claim {lease.name} attempt={lease.attempt} "
+            f"seed={lease.scenario.seed} {lease.scenario.label()}",
+            flush=True,
+        )
+
+    def on_cell(lease, record):
+        status = "ok" if record["ok"] else f"FAILED {record['error']}"
+        if record.get("from_cache"):
+            status += " (summary already cached)"
+        print(f"done {lease.name} {status}", flush=True)
+
+    try:
+        worker = SweepWorker(
+            queue,
+            worker_id=args.worker_id,
+            poll_interval=args.poll,
+            max_cells=args.max_cells,
+            on_cell=on_cell,
+            on_claim=on_claim,
+        )
+    except ValueError as error:
+        print(f"cannot join sweep: {error}", file=sys.stderr)
+        return 2
+    print(f"worker {worker.worker_id} joined queue {queue.root}", flush=True)
+    try:
+        executed = worker.run()
+    except KeyboardInterrupt:
+        print("\nworker interrupted — leases expire and re-queue", file=sys.stderr)
+        return 130
+    print(
+        f"worker {worker.worker_id} finished: {executed} cell(s) executed, "
+        f"{worker.failed} failed",
+        flush=True,
+    )
+    return 1 if worker.failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -275,7 +392,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="run a declarative scenario grid")
     sweep.add_argument("--spec", help="JSON grid spec file (default: built-in demo grid)")
-    sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (>= 1; with --distributed, local workers to "
+        "launch, 0 = coordinate external workers only)",
+    )
     sweep.add_argument(
         "--cache-dir", default=".repro-sweep-cache",
         help="result cache directory (default: %(default)s)",
@@ -295,7 +416,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="reuse cached cell results instead of re-simulating",
     )
+    sweep.add_argument(
+        "--distributed", action="store_true",
+        help="run through the filesystem task broker: enqueue the grid and "
+        "let sweep-worker processes (local and/or remote) drain it",
+    )
+    sweep.add_argument(
+        "--queue", metavar="DIR",
+        help="task-broker directory (default: <cache-dir>/queue)",
+    )
+    sweep.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="re-lease a worker's cell after this long without a heartbeat "
+        "(default: the broker's DEFAULT_LEASE_TTL, 60s)",
+    )
+    sweep.add_argument(
+        "--out", metavar="FILE",
+        help="write the grid-ordered canonical-JSON summaries here "
+        "(byte-comparable across serial/pool/distributed runs)",
+    )
     sweep.set_defaults(func=_run_sweep)
+
+    worker = sub.add_parser(
+        "sweep-worker", help="join a distributed sweep as one worker process"
+    )
+    worker.add_argument(
+        "--queue", required=True, metavar="DIR", help="task-broker directory"
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="idle sleep between claim attempts (default: %(default)s)",
+    )
+    worker.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="stop after executing N cells (default: run until the sweep completes)",
+    )
+    worker.add_argument(
+        "--wait-manifest", type=float, default=30.0, metavar="SECONDS",
+        help="how long to wait for the coordinator's manifest to appear "
+        "(default: %(default)s)",
+    )
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="lease/done-record stamp (default: host-pid-random)",
+    )
+    worker.set_defaults(func=_run_sweep_worker)
     return parser
 
 

@@ -16,7 +16,12 @@ the grid the first-class object:
   (co-located under the result cache) that makes each bank train
   exactly once across workers, sweeps, and resumes;
 * :mod:`repro.sweep.aggregate` — row/table shaping for the CLI and
-  the figure runners.
+  the figure runners;
+* :mod:`repro.sweep.distrib` — the filesystem-backed task broker
+  (lease-based queue co-located under the cache root) that lets a
+  fleet of independent ``repro sweep-worker`` processes — across
+  machines sharing a mount — drain one grid, with crash-triggered
+  re-lease and the same byte-identical replay guarantee.
 
 Determinism contract: a cell's summary depends only on its
 :class:`Scenario` fields.  The same cell run serially, through the
@@ -33,6 +38,11 @@ does not abort its siblings; the sweep drains, then raises
 from repro.sweep.aggregate import cells_table, summary_columns
 from repro.sweep.banks import BankCache, bank_fingerprint
 from repro.sweep.cache import SweepCache, canonical_json
+from repro.sweep.distrib import (
+    DistributedSweepRunner,
+    SweepWorker,
+    TaskQueue,
+)
 from repro.sweep.runner import (
     CellResult,
     SweepCellError,
@@ -45,12 +55,15 @@ from repro.sweep.scenario import Scenario, ScenarioGrid
 __all__ = [
     "BankCache",
     "CellResult",
+    "DistributedSweepRunner",
     "Scenario",
     "ScenarioGrid",
     "SweepCache",
     "SweepCellError",
     "SweepResult",
     "SweepRunner",
+    "SweepWorker",
+    "TaskQueue",
     "bank_fingerprint",
     "canonical_json",
     "cells_table",

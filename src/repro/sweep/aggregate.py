@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.sweep.runner import CellResult
-from repro.sweep.scenario import RESCHEDULE_AFTER_DEFAULT
+from repro.sweep.scenario import MCNT_DEFAULT, RESCHEDULE_AFTER_DEFAULT
 
 #: (header, summary key, format) for the numeric summary columns.
 SUMMARY_COLUMNS: tuple[tuple[str, str, str], ...] = (
@@ -32,10 +32,13 @@ def summary_columns() -> list[str]:
 
 def _scenario_columns(cell: CellResult) -> list[str]:
     scenario = cell.scenario
+    # Flipped ablation knobs must be visible, or ablation rows are
+    # indistinguishable from their base cells; mcnt matters to both
+    # approaches, so it joins the flags whichever way the cell ran.
+    flags = []
+    if scenario.mcnt != MCNT_DEFAULT:
+        flags.append(f"mcnt={scenario.mcnt}")
     if scenario.approach == "spottune":
-        # Flipped ablation knobs must be visible, or ablation rows
-        # are indistinguishable from their base cells.
-        flags = []
         if scenario.reschedule_after != RESCHEDULE_AFTER_DEFAULT:
             flags.append(f"recycle={scenario.reschedule_after:g}")
         if not scenario.refund_enabled:
@@ -45,7 +48,7 @@ def _scenario_columns(cell: CellResult) -> list[str]:
         predictor = scenario.predictor
         ckpt = scenario.checkpoint_policy
     else:
-        approach = f"single_spot({scenario.instance})"
+        approach = f"single_spot({','.join([scenario.instance] + flags)})"
         theta, predictor, ckpt = "-", "-", "-"
     return [scenario.workload, approach, theta, predictor, ckpt, str(scenario.seed)]
 

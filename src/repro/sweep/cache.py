@@ -34,6 +34,11 @@ _STALE_TMP_SECONDS = 3600.0
 #: explicit bank-cache location).
 BANKS_SUBDIR = "banks"
 
+#: Subdirectory of a result-cache root where the distributed task
+#: queue co-locates by default — a shared mount (or rsync'd directory)
+#: of the cache root is then the only "network" a worker fleet needs.
+QUEUE_SUBDIR = "queue"
+
 
 def canonical_json(payload: Any) -> str:
     """Deterministic JSON: sorted keys, compact separators."""
@@ -65,6 +70,11 @@ class SweepCache:
     def banks_root(self) -> Path:
         """Where the co-located predictor-bank cache lives."""
         return self.root / BANKS_SUBDIR
+
+    @property
+    def queue_root(self) -> Path:
+        """Where the co-located distributed task queue lives."""
+        return self.root / QUEUE_SUBDIR
 
     def path_for(self, scenario: Scenario) -> Path:
         return self.root / f"{scenario.fingerprint()}.json"

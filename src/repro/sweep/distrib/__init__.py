@@ -1,0 +1,47 @@
+"""Distributed sweep broker: filesystem queue + lease-based workers.
+
+Decouples sweep execution from the in-process pool so any number of
+independent processes — on one machine or many sharing a mount — can
+drain one scenario grid:
+
+* :mod:`repro.sweep.distrib.queue` — the broker directory
+  (:class:`TaskQueue`): claim-by-atomic-rename, expiry-triggered
+  re-lease, done records;
+* :mod:`repro.sweep.distrib.lease` — :class:`Lease` handles and the
+  :class:`Heartbeat` renewal thread;
+* :mod:`repro.sweep.distrib.worker` — the ``repro sweep-worker`` loop
+  (:class:`SweepWorker`);
+* :mod:`repro.sweep.distrib.coordinator` — the ``repro sweep
+  --distributed`` side (:class:`DistributedSweepRunner`): enqueue,
+  tail, assemble.
+
+The crash-safety contract: a worker SIGKILLed mid-cell loses only its
+lease, which expires and re-leases the cell to a survivor; the
+assembled result is byte-identical to a serial run regardless of how
+many workers ran, died, or were overthrown along the way.
+"""
+
+from repro.sweep.distrib.coordinator import DistributedSweepRunner, spawn_local_worker
+from repro.sweep.distrib.lease import Heartbeat, Lease
+from repro.sweep.distrib.queue import (
+    DEFAULT_LEASE_TTL,
+    QUEUE_SCHEMA_VERSION,
+    QueueError,
+    TaskQueue,
+    task_name,
+)
+from repro.sweep.distrib.worker import SweepWorker, default_worker_id
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "DistributedSweepRunner",
+    "Heartbeat",
+    "Lease",
+    "QUEUE_SCHEMA_VERSION",
+    "QueueError",
+    "SweepWorker",
+    "TaskQueue",
+    "default_worker_id",
+    "spawn_local_worker",
+    "task_name",
+]

@@ -1,0 +1,400 @@
+"""The distributed sweep coordinator: enqueue, tail, assemble.
+
+``repro sweep --distributed`` drives this runner instead of the
+in-process pool.  It enqueues the grid into the filesystem broker
+(co-located under the result cache), optionally launches local worker
+processes, then *tails* the queue's done records — streaming each
+completed cell into the same ``on_cell`` callback the pool path uses —
+and finally assembles the grid-ordered :class:`~repro.sweep.runner
+.SweepResult` from the cache.
+
+The coordinator is not special: it holds no locks and does no cell
+work, so killing and restarting it against the same queue attaches to
+the surviving state (the enqueue is idempotent for an identical grid).
+Expired leases are reclaimed from here too, so even a fleet that dies
+entirely makes progress again as soon as one worker — or just the
+coordinator plus one new worker — comes back.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.sweep.banks import BankCache
+from repro.sweep.cache import SweepCache
+from repro.sweep.distrib.queue import DEFAULT_LEASE_TTL, TaskQueue
+from repro.sweep.runner import (
+    CellResult,
+    SweepCellError,
+    SweepResult,
+    resolve_caches,
+    shard_cells,
+)
+from repro.sweep.scenario import Scenario, ScenarioGrid
+
+
+def _relative_to_queue(target: Path, queue_root: Path) -> str:
+    """Record cache locations relative to the queue so the directory
+    tree stays self-describing when mounted elsewhere."""
+    try:
+        return os.path.relpath(target, queue_root)
+    except ValueError:  # different drives (Windows) — keep absolute
+        return str(target)
+
+
+def spawn_local_worker(
+    queue_root: Path,
+    poll_interval: float = 0.2,
+    stdout=subprocess.DEVNULL,
+) -> subprocess.Popen:
+    """Start one independent ``repro sweep-worker`` process.
+
+    A real subprocess, not a fork from a pool: local workers are the
+    same animal as remote ones, so the coordinator's crash-recovery
+    story is exercised identically either way.
+    """
+    import repro
+
+    env = dict(os.environ)
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "sweep-worker",
+            "--queue",
+            str(queue_root),
+            "--poll",
+            str(poll_interval),
+        ],
+        env=env,
+        stdout=stdout,
+        stderr=subprocess.STDOUT,
+    )
+
+
+class DistributedSweepRunner:
+    """Executes a grid through the filesystem broker.
+
+    Args:
+        cache: Result-cache directory (or :class:`SweepCache`);
+            **required** — completed summaries travel from workers to
+            the coordinator through it.
+        queue_dir: Broker directory; defaults to ``<cache>/queue``.
+        jobs: Local worker processes to launch; 0 coordinates only
+            (external ``repro sweep-worker`` processes do the work).
+        resume: Reuse cached summaries instead of enqueueing them.
+        bank_cache: As for :class:`~repro.sweep.runner.SweepRunner`.
+        lease_ttl: Seconds without a heartbeat before a worker's cell
+            is re-leased.
+        poll_interval: Coordinator tail/reclaim cadence.
+    """
+
+    def __init__(
+        self,
+        cache: Union[str, Path, SweepCache],
+        queue_dir: Union[str, Path, None] = None,
+        jobs: int = 1,
+        resume: bool = False,
+        bank_cache: Union[str, Path, BankCache, None, bool] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        poll_interval: float = 0.2,
+    ) -> None:
+        if cache is None:
+            raise ValueError("distributed sweeps require a result cache")
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0: {jobs}")
+        if lease_ttl <= 0:
+            raise ValueError(f"lease-ttl must be positive: {lease_ttl}")
+        self.cache, self.bank_cache = resolve_caches(cache, bank_cache)
+        self.queue_dir = Path(queue_dir) if queue_dir else self.cache.queue_root
+        self.jobs = jobs
+        self.resume = resume
+        self.lease_ttl = lease_ttl
+        self.poll_interval = poll_interval
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        grid: Union[ScenarioGrid, Iterable[Scenario]],
+        on_cell=None,
+        timeout: Optional[float] = None,
+    ) -> SweepResult:
+        """Enqueue, wait for the fleet to drain the queue, assemble.
+
+        Matches ``SweepRunner.run`` semantics: ``on_cell`` streams in
+        completion order (cache hits first), failures drain siblings
+        then raise :class:`SweepCellError`, and the returned result is
+        in grid order — byte-identical to a serial run of the same
+        grid.  ``timeout`` (seconds, ``None`` = wait forever) bounds
+        the tail loop for tests.
+        """
+        scenarios = list(grid)
+        total = len(scenarios)
+        done: dict[str, CellResult] = {}
+
+        def emit(cell: CellResult) -> None:
+            done[cell.scenario.fingerprint()] = cell
+            if on_cell is not None:
+                on_cell(len(done), total, cell)
+
+        # The queue's identity is the *full* grid, never the
+        # resume-filtered remainder: a resumed (or restarted)
+        # coordinator thereby always matches the manifest of the sweep
+        # it is resuming, whatever happens to be cached by now.  The
+        # dispatch order is likewise jobs-independent — the fleet size
+        # is unknowable here anyway, and a restart with a different
+        # --jobs must still produce the manifest it is re-attaching to.
+        # It is bucket-*contiguous* (each (seed, scale) group in one
+        # run), not the pool path's round-robin: workers claim
+        # smallest-name-first, so contiguity is what lets a worker's
+        # context LRU serve consecutive claims instead of rebuilding a
+        # different context per cell once the grid has more buckets
+        # than LRU slots.
+        ordered = [s for shard in shard_cells(scenarios, 1) for s in shard]
+        banks_path = (
+            _relative_to_queue(self.bank_cache.root, self.queue_dir)
+            if self.bank_cache is not None
+            else None
+        )
+        # The manifest is held back until the resume reconcile below is
+        # done, so no worker can claim a cell this coordinator is about
+        # to complete from the cache (attach blocks on the manifest).
+        queue = TaskQueue.create(
+            self.queue_dir,
+            ordered,
+            cache_path=_relative_to_queue(self.cache.root, self.queue_dir),
+            banks_path=banks_path,
+            lease_ttl=self.lease_ttl,
+            publish=False,
+        )
+        by_name = queue.scenarios_by_name(ordered)
+
+        #: name -> completion record for this run (how each cell was
+        #: satisfied: which worker, which attempt, cached or executed) —
+        #: queryable after ``run`` since the drained queue is retired.
+        self.completion_records: dict[str, dict] = {}
+
+        outstanding = set(by_name)
+        rank = {name: seq for seq, name in enumerate(queue.manifest["tasks"])}
+
+        # Clear crashed-worker debris *before* judging done records: a
+        # worker killed between mark_done's write and its lease unlink
+        # leaves a lease that shadows the done record — ensure_pending
+        # would skip the cell as in-flight, and the stale record would
+        # then replay.  reclaim_expired drops exactly those leases (a
+        # lease whose done record exists is garbage by contract).
+        queue.reclaim_expired()
+
+        # Surviving done records go back into play exactly as
+        # SweepRunner would treat them: without --resume, history is
+        # not trusted at all and every settled cell re-executes; with
+        # --resume, only unusable records reopen — ok=False (which
+        # would otherwise re-raise the same SweepCellError forever)
+        # and ok=True records whose cache summary has since vanished
+        # (which would otherwise fail every future run as 'completed
+        # cell missing from the result cache').  In-flight leases are
+        # never touched either way.
+        for name in queue.done_names():
+            record = queue.done_record(name)
+            if record is None or name not in by_name:
+                continue
+            if (
+                not self.resume
+                or not record.get("ok")
+                or self.cache.load(by_name[name]) is None
+            ):
+                queue.ensure_pending(name, by_name[name], rank[name])
+        if not self.resume:
+            # Strip attempt counts inherited from a previous fleet's
+            # requeued leases, so no task claims at attempt > 1 and
+            # short-circuits to the cached summary — this run's
+            # contract is to re-execute.
+            queue.reset_pending_attempts()
+
+        if self.resume:
+            # Reconcile the queue against the cache (the source of
+            # truth under --resume): cached cells complete without a
+            # worker ever touching them, uncached cells go (back) into
+            # play even if a previous fleet had marked them done.
+            name_of = {s.fingerprint(): n for n, s in by_name.items()}
+            for scenario in scenarios:  # grid order, like SweepRunner
+                name = name_of[scenario.fingerprint()]
+                summary = self.cache.load(scenario)
+                if summary is None:
+                    queue.ensure_pending(name, scenario, rank[name])
+                    continue
+                record = {
+                    "ok": True,
+                    "error": None,
+                    "fingerprint": scenario.fingerprint(),
+                    "worker": "coordinator-resume",
+                    "attempt": 0,
+                    "bank_trainings": 0,
+                    "from_cache": True,
+                }
+                queue.complete_cached(name, record)
+                self.completion_records[name] = record
+                outstanding.discard(name)
+                emit(CellResult(scenario, summary, cached=True))
+
+        queue.publish_manifest()
+        failures: list[tuple[Scenario, str]] = []
+        workers: list[subprocess.Popen] = []
+        try:
+            # Local workers log under the queue (one file each): kept
+            # exactly as long as diagnostics can matter — a failed or
+            # interrupted sweep leaves them for post-mortem, a
+            # successful one retires them with the queue.
+            local = min(self.jobs, len(outstanding))
+            if local:
+                (queue.root / "logs").mkdir(exist_ok=True)
+            for index in range(local):
+                log = open(queue.root / "logs" / f"worker-{index}.log", "ab")
+                try:
+                    workers.append(
+                        spawn_local_worker(
+                            queue.root,
+                            poll_interval=self.poll_interval,
+                            stdout=log,
+                        )
+                    )
+                finally:
+                    log.close()  # the child holds its own duplicate
+            self._tail(
+                queue, by_name, rank, outstanding, emit, failures, timeout, workers
+            )
+        finally:
+            for worker in workers:
+                if worker.poll() is None:
+                    worker.terminate()
+            for worker in workers:
+                try:
+                    worker.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    worker.kill()
+                    worker.wait()
+
+        if failures:
+            # The queue survives a failed sweep: its error records and
+            # pending state are what ``--resume`` retries from.
+            raise SweepCellError(
+                failures, completed=list(done.values()), persisted=True
+            )
+        # A drained queue is coordination state, not results (those are
+        # in the cache) — retire it, so a later identical sweep
+        # re-executes like ``SweepRunner`` would instead of silently
+        # replaying stale done records.  Lingering workers notice the
+        # manifest vanish and exit.
+        shutil.rmtree(queue.root, ignore_errors=True)
+        return SweepResult(done[s.fingerprint()] for s in scenarios)
+
+    # ------------------------------------------------------------------
+    def _tail(
+        self, queue, by_name, rank, outstanding, emit, failures, timeout, workers=()
+    ) -> None:
+        """Stream done records into ``emit`` until the queue drains."""
+        seen = set(by_name) - outstanding  # cache hits already emitted
+        outstanding = set(outstanding)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        # On a shared mount (NFS/EFS) a done record can become visible
+        # to this machine before the worker's cache summary does
+        # (attribute/negative-entry caching): give a missing summary a
+        # grace window before declaring the cell broken.
+        summary_grace = max(10.0, 4 * self.poll_interval)
+        summary_missing_since: dict[str, float] = {}
+        while outstanding:
+            for name in queue.done_names():
+                if name in seen or name not in by_name:
+                    continue
+                scenario = by_name[name]
+                record = queue.done_record(name) or {}
+                if record.get("ok"):
+                    summary = self.cache.load(scenario)
+                    if summary is None:
+                        first = summary_missing_since.setdefault(
+                            name, time.monotonic()
+                        )
+                        if time.monotonic() - first < summary_grace:
+                            continue  # keep outstanding; re-poll
+                        seen.add(name)
+                        outstanding.discard(name)
+                        self.completion_records[name] = record
+                        failures.append(
+                            (scenario, "completed cell missing from the result cache")
+                        )
+                        continue
+                    summary_missing_since.pop(name, None)
+                    seen.add(name)
+                    outstanding.discard(name)
+                    self.completion_records[name] = record
+                    emit(
+                        CellResult(
+                            scenario,
+                            summary,
+                            # A re-lease that found its predecessor's
+                            # summary already persisted did not execute.
+                            cached=bool(record.get("from_cache")),
+                            bank_trainings=int(record.get("bank_trainings", 0)),
+                        )
+                    )
+                else:
+                    seen.add(name)
+                    outstanding.discard(name)
+                    self.completion_records[name] = record
+                    failures.append(
+                        (scenario, record.get("error") or "worker reported failure")
+                    )
+            if not outstanding:
+                break
+            queue.reclaim_expired()
+            # Self-heal vanished tasks: an outstanding cell with no
+            # task, lease, or done record cannot finish on its own (a
+            # worker quarantined its corrupt task file, or someone
+            # deleted it) — rewrite the task from the manifest.  The
+            # scan order (tasks, then in-flight leases including
+            # claim-temps, then done) matches the claim and completion
+            # transitions, so a cell mid-move is always seen in at
+            # least one of the three.
+            present = (
+                set(queue.pending_names())
+                | set(queue.inflight_names())
+                | set(queue.done_names())
+            )
+            for name in outstanding - present:
+                queue.ensure_pending(name, by_name[name], rank[name])
+            # A locally-spawned fleet that has died entirely can never
+            # drain the queue; a worker only exits this early on a
+            # crash (clean exits need the sweep complete or the queue
+            # retired), so hanging silently would hide a real failure.
+            # External fleets (jobs=0, or anyone holding a live lease)
+            # are unaffected — and a cell whose done record landed
+            # after this iteration's scan (`present` sees it) is not
+            # grounds to raise: the next iteration consumes it.
+            if (
+                workers
+                and all(w.poll() is not None for w in workers)
+                and not queue.inflight_names()
+                and outstanding - set(queue.done_names())
+            ):
+                raise RuntimeError(
+                    f"all {len(workers)} local sweep-worker process(es) "
+                    f"exited with {len(outstanding)} cell(s) outstanding "
+                    f"(queue: {queue.root}); see {queue.root / 'logs'} for "
+                    "worker output; external workers can still drain it, "
+                    "or rerun to respawn the local fleet"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"distributed sweep timed out with {len(outstanding)} cell(s) "
+                    f"outstanding (queue: {queue.root})"
+                )
+            time.sleep(self.poll_interval)

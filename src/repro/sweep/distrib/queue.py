@@ -1,0 +1,595 @@
+"""Filesystem-backed task queue for distributed sweeps.
+
+One directory *is* the broker: a shared mount (or an rsync'd copy) of
+the sweep-cache root is the only "network" a worker fleet needs, which
+is exactly the posture SpotTune takes toward its own transient fleet —
+cheap, unreliable machines joining and vanishing at will.
+
+Layout (``<cache-root>/queue/`` by default, next to ``banks/``)::
+
+    queue/manifest.json      # schema, ordered task list, cache paths
+    queue/tasks/<seq>-<fp>   # pending cells, one file each
+    queue/leases/<seq>-<fp>  # claimed cells (owner + attempt)
+    queue/done/<seq>-<fp>    # completion records (ok or error)
+
+Every state transition is a single atomic ``os.rename`` on one
+filesystem, so concurrent workers can never both win the same cell:
+
+* **claim** — ``tasks/T`` → ``leases/T.claim-<owner>`` (private), the
+  owner/attempt payload is stamped, then the private file is published
+  as ``leases/T``.  The two-step dance matters: rename preserves mtime,
+  so publishing only after the stamp guarantees a fresh lease is never
+  mistaken for an expired one.
+* **heartbeat** — the lease holder bumps ``leases/T``'s mtime (see
+  :mod:`repro.sweep.distrib.lease`); a lease whose mtime is older than
+  the TTL belongs to a dead (or wedged) worker.
+* **re-lease** — anyone may rename an expired ``leases/T`` back to
+  ``tasks/T``; again one rename, one winner.  Clock skew is tolerated
+  in the safe direction: a lease stamped in the future reads as age
+  zero, never as expired.
+* **complete** — the worker writes ``done/T`` (write-temp-then-rename)
+  and only then drops its lease, so a crash between the two leaves a
+  stale lease that reclaim deletes once it sees the done record.
+
+The queue never re-runs a *finished* cell, and a cell re-run after a
+worker crash produces byte-identical cache entries anyway (the sweep
+determinism contract), so execution is effectively exactly-once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.sweep.distrib.lease import Lease
+from repro.sweep.scenario import SCHEMA_VERSION, Scenario
+
+#: Bump when the queue layout or manifest shape changes; workers refuse
+#: to attach to a queue from another schema rather than guess.
+QUEUE_SCHEMA_VERSION = 1
+
+#: Default lease TTL: a worker that misses heartbeats for this long is
+#: presumed dead and its cell is re-leased.  Heartbeats renew every
+#: TTL/4, so four consecutive misses precede any re-lease.
+DEFAULT_LEASE_TTL = 60.0
+
+MANIFEST_NAME = "manifest.json"
+#: Where an unpublished manifest waits (``publish=False`` creations):
+#: invisible to :meth:`TaskQueue.attach`, but enough for a re-created
+#: coordinator to recognise the directory as its own sweep.
+STAGED_MANIFEST_NAME = "manifest.staged"
+_CLAIM_MARKER = ".claim-"
+
+
+def task_name(seq: int, scenario: Scenario) -> str:
+    """Queue-wide task id: zero-padded rank + cell fingerprint.
+
+    The rank prefix makes lexicographic directory order the dispatch
+    order, so workers claiming "smallest name first" follow the same
+    round-robin ``task_order`` the in-process pool streams through.
+    """
+    return f"{seq:06d}-{scenario.fingerprint()}"
+
+
+class QueueError(RuntimeError):
+    """The queue directory is missing, foreign, or incompatible."""
+
+
+class TaskQueue:
+    """One sweep's broker directory; every handle is equally privileged.
+
+    There is no broker *process* — coordinator and workers all operate
+    on the directory through this class, and any of them may reclaim an
+    expired lease.  Construct with :meth:`create` (coordinator, writes
+    the manifest) or :meth:`attach` (worker, waits for it).
+    """
+
+    def __init__(self, root: str | Path, lease_ttl: float = DEFAULT_LEASE_TTL) -> None:
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive: {lease_ttl}")
+        self.root = Path(root)
+        self.lease_ttl = float(lease_ttl)
+        self.tasks_dir = self.root / "tasks"
+        self.leases_dir = self.root / "leases"
+        self.done_dir = self.root / "done"
+        #: Where unparseable task files land for post-mortem (see
+        #: :meth:`_claim_one`); the coordinator rewrites the task.
+        self.quarantine_dir = self.root / "quarantine"
+        self._manifest: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        ordered: Sequence[Scenario],
+        *,
+        cache_path: str = "..",
+        banks_path: Optional[str] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        publish: bool = True,
+    ) -> "TaskQueue":
+        """Enqueue ``ordered`` cells (already in dispatch order).
+
+        ``cache_path``/``banks_path`` are recorded relative to the
+        queue root when possible, so the whole cache directory can move
+        between machines (shared mount, rsync) and still resolve.
+
+        ``publish=False`` holds the manifest back; workers wait for it
+        on attach, so the creator can finish adjusting queue state
+        (e.g. the resume reconcile) before any worker claims, then call
+        :meth:`publish_manifest`.
+
+        Re-creating over an existing queue is allowed only when the
+        task set is identical — that is a coordinator restart, and the
+        surviving tasks/leases/done records simply carry on.  Anything
+        else is a refusal, not a silent overwrite.
+        """
+        queue = cls(root, lease_ttl=lease_ttl)
+        names = [task_name(seq, s) for seq, s in enumerate(ordered)]
+        manifest = {
+            "schema": QUEUE_SCHEMA_VERSION,
+            "cell_schema": SCHEMA_VERSION,
+            "tasks": names,
+            "cache": cache_path,
+            "banks": banks_path,
+            "lease_ttl": queue.lease_ttl,
+        }
+        published = queue.load_manifest()
+        staged = queue._load_staged() if published is None else None
+        existing = published if published is not None else staged
+        if existing is not None:
+            if existing.get("tasks") != names:
+                raise QueueError(
+                    f"queue at {queue.root} already holds a different sweep; "
+                    "point --queue elsewhere or remove it"
+                )
+            # A coordinator restart: the surviving tasks/leases/done
+            # records carry on.  A published manifest is adopted as-is
+            # — lease TTL included, or this handle would reclaim on a
+            # timescale the attached workers' heartbeats don't match.
+            if published is not None:
+                # The cache locations must match too, or this
+                # coordinator would assemble from one cache while the
+                # manifest sends every worker's summaries to another.
+                for key, supplied in (("cache", cache_path), ("banks", banks_path)):
+                    if published.get(key) != supplied:
+                        raise QueueError(
+                            f"queue at {queue.root} records {key}="
+                            f"{published.get(key)!r} but this run supplies "
+                            f"{supplied!r}; rerun with the matching "
+                            "--cache-dir/--bank-cache or point --queue "
+                            "elsewhere"
+                        )
+                queue._manifest = published
+                queue.lease_ttl = float(
+                    published.get("lease_ttl", queue.lease_ttl)
+                )
+            else:
+                # Never published (the creator died between staging
+                # and publishing — possibly mid-enqueue, since the
+                # staged manifest lands first): re-stage under this
+                # run's parameters and fill in any task file that
+                # never got written.  No worker can have claimed
+                # anything (attach blocks on the published manifest),
+                # but a prior publish=False creator may have leased
+                # cells through its own handle, so existing state is
+                # still respected.
+                queue._manifest = manifest
+                queue._write_atomic(queue.root / STAGED_MANIFEST_NAME, manifest)
+                queue._enqueue_missing(ordered, names)
+            queue.sweep_stale()
+            if publish:
+                queue.publish_manifest()
+            return queue
+        if queue.root.exists() and any(queue.root.iterdir()):
+            raise QueueError(
+                f"queue directory {queue.root} is non-empty but has no manifest"
+            )
+        # The staged manifest lands first: it is invisible to attach
+        # (workers wait for the published name), but it marks the
+        # directory as this sweep's, so a creator killed mid-enqueue
+        # is recoverable instead of leaving a refused orphan dir.
+        queue.root.mkdir(parents=True, exist_ok=True)
+        queue._manifest = manifest
+        queue._write_atomic(queue.root / STAGED_MANIFEST_NAME, manifest)
+        for directory in (queue.tasks_dir, queue.leases_dir, queue.done_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        queue._enqueue_missing(ordered, names)
+        if publish:
+            queue.publish_manifest()
+        return queue
+
+    def _enqueue_missing(self, ordered: Sequence[Scenario], names: list[str]) -> None:
+        """Write a task file for every cell with no queue state yet."""
+        for directory in (self.tasks_dir, self.leases_dir, self.done_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        for seq, scenario in enumerate(ordered):
+            name = names[seq]
+            if (
+                (self.tasks_dir / name).exists()
+                or (self.leases_dir / name).exists()
+                or (self.done_dir / name).exists()
+            ):
+                continue
+            self._write_atomic(
+                self.tasks_dir / name,
+                {
+                    "schema": QUEUE_SCHEMA_VERSION,
+                    "seq": seq,
+                    "scenario": scenario.to_dict(),
+                    "attempt": 0,
+                },
+            )
+
+    def publish_manifest(self) -> None:
+        """Make the queue joinable (attach blocks on the manifest).
+        A no-op when the manifest is already published."""
+        if (self.root / MANIFEST_NAME).exists():
+            self._unlink_quiet(self.root / STAGED_MANIFEST_NAME)
+            return
+        try:
+            os.replace(self.root / STAGED_MANIFEST_NAME, self.root / MANIFEST_NAME)
+        except OSError:
+            self._write_atomic(self.root / MANIFEST_NAME, self.manifest)
+
+    def _load_staged(self) -> Optional[dict]:
+        try:
+            return json.loads((self.root / STAGED_MANIFEST_NAME).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    @classmethod
+    def attach(
+        cls, root: str | Path, wait_seconds: float = 0.0, poll: float = 0.2
+    ) -> "TaskQueue":
+        """Join an existing queue, optionally waiting for its manifest
+        to appear (workers routinely start before the coordinator)."""
+        queue = cls(root)
+        deadline = time.monotonic() + wait_seconds
+        while True:
+            manifest = queue.load_manifest()
+            if manifest is not None:
+                break
+            if time.monotonic() >= deadline:
+                raise QueueError(f"no sweep manifest at {queue.root / MANIFEST_NAME}")
+            time.sleep(poll)
+        if manifest.get("schema") != QUEUE_SCHEMA_VERSION:
+            raise QueueError(
+                f"queue schema {manifest.get('schema')!r} != {QUEUE_SCHEMA_VERSION}"
+            )
+        if manifest.get("cell_schema") != SCHEMA_VERSION:
+            raise QueueError(
+                f"queue cells were enqueued under scenario schema "
+                f"{manifest.get('cell_schema')!r}, this worker runs {SCHEMA_VERSION}"
+            )
+        queue.lease_ttl = float(manifest.get("lease_ttl", DEFAULT_LEASE_TTL))
+        queue._manifest = manifest
+        return queue
+
+    def load_manifest(self) -> Optional[dict]:
+        try:
+            return json.loads((self.root / MANIFEST_NAME).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def retired(self) -> bool:
+        """Whether the published manifest is *definitively* gone (the
+        coordinator assembled the result and removed the queue).
+        Transient read errors (NFS ESTALE/EIO) do not count — only a
+        confirmed absence should make an idle worker give up."""
+        try:
+            os.stat(self.root / MANIFEST_NAME)
+        except FileNotFoundError:
+            return True
+        except OSError:
+            return False
+        return False
+
+    @property
+    def manifest(self) -> dict:
+        if self._manifest is None:
+            manifest = self.load_manifest()
+            if manifest is None:
+                raise QueueError(f"no sweep manifest at {self.root / MANIFEST_NAME}")
+            self._manifest = manifest
+        return self._manifest
+
+    @property
+    def total(self) -> int:
+        return len(self.manifest["tasks"])
+
+    def resolve(self, recorded: Optional[str]) -> Optional[Path]:
+        """A manifest path entry, resolved against the queue root."""
+        if recorded is None:
+            return None
+        path = Path(recorded)
+        return path if path.is_absolute() else (self.root / path).resolve()
+
+    # ------------------------------------------------------------------
+    # State scans
+    # ------------------------------------------------------------------
+    def _names_in(self, directory: Path) -> list[str]:
+        try:
+            entries = os.listdir(directory)
+        except FileNotFoundError:
+            return []
+        return sorted(
+            name
+            for name in entries
+            if _CLAIM_MARKER not in name and ".tmp" not in name
+        )
+
+    def pending_names(self) -> list[str]:
+        return self._names_in(self.tasks_dir)
+
+    def lease_names(self) -> list[str]:
+        return self._names_in(self.leases_dir)
+
+    def inflight_names(self) -> list[str]:
+        """Published leases *plus* the original names of claim-temps:
+        a cell between the claim rename and the lease publish is
+        invisible to :meth:`pending_names`/:meth:`lease_names`, but
+        liveness scans (the coordinator's self-heal) must still see
+        it, or they would re-enqueue a cell a worker is claiming."""
+        try:
+            entries = os.listdir(self.leases_dir)
+        except FileNotFoundError:
+            return []
+        names = set()
+        for name in entries:
+            if ".tmp" in name:
+                continue
+            names.add(name.split(_CLAIM_MARKER, 1)[0])
+        return sorted(names)
+
+    def done_names(self) -> list[str]:
+        return self._names_in(self.done_dir)
+
+    def depth(self) -> int:
+        """Unclaimed tasks still waiting for a worker."""
+        return len(self.pending_names())
+
+    def is_complete(self) -> bool:
+        return len(self.done_names()) >= self.total
+
+    # ------------------------------------------------------------------
+    # Claim / re-lease
+    # ------------------------------------------------------------------
+    def claim(self, owner: str) -> Optional[Lease]:
+        """Claim the lowest-ranked pending task, or ``None``.
+
+        Losing a rename race to a sibling worker just moves on to the
+        next candidate; ``None`` means the tasks directory is drained
+        (though leased cells may yet return via :meth:`reclaim_expired`).
+        """
+        for name in self.pending_names():
+            lease = self._claim_one(name, owner)
+            if lease is not None:
+                return lease
+        return None
+
+    def _claim_one(self, name: str, owner: str) -> Optional[Lease]:
+        private = self.leases_dir / f"{name}{_CLAIM_MARKER}{owner}"
+        task = self.tasks_dir / name
+        try:
+            # Stamp liveness *before* the rename: rename preserves
+            # mtime, and a task file enqueued more than a TTL ago would
+            # otherwise surface as an already-expired claim-temp to a
+            # concurrent reclaim scan, which would yank it back out
+            # from under us mid-claim.
+            os.utime(task)
+            os.rename(task, private)
+        except OSError:
+            return None  # a sibling won the rename, or the task is gone
+        try:
+            payload = json.loads(private.read_text())
+            payload["owner"] = owner
+            payload["attempt"] = int(payload.get("attempt", 0)) + 1
+            private.write_text(json.dumps(payload, sort_keys=True))
+            # Publish: the lease file now exists with a fresh mtime and
+            # a stamped owner, so expiry scans measure from *this*
+            # moment, not from enqueue time.
+            os.replace(private, self.leases_dir / name)
+        except OSError:
+            # The claim-temp was yanked by a reclaim scan (a wildly
+            # skewed clock) or the filesystem failed us: hand the task
+            # back if we still can and treat the claim as lost.
+            try:
+                os.replace(private, task)
+            except OSError:
+                pass
+            return None
+        except (ValueError, TypeError, AttributeError):
+            # Corrupt/truncated task payload (a partial copy on an
+            # rsync'd queue, disk damage — JSONDecodeError is a
+            # ValueError; a non-dict payload raises Type/Attribute
+            # errors).  Restoring it would livelock the fleet on the
+            # same bad file forever; quarantine it instead, for
+            # post-mortem, and let the coordinator's tail rewrite the
+            # task from the manifest scenario (it knows the cell).
+            try:
+                self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+                os.replace(private, self.quarantine_dir / f"{name}.{os.getpid()}")
+            except OSError:
+                pass
+            return None
+        except BaseException:
+            # Put the task back rather than strand it in claim limbo.
+            try:
+                os.replace(private, task)
+            except OSError:
+                pass
+            raise
+        return Lease(self, name, owner, payload)
+
+    def reclaim_expired(self, now: Optional[float] = None) -> list[str]:
+        """Requeue every lease whose holder stopped heartbeating.
+
+        Also clears stale claim-temp files (a worker killed mid-claim)
+        and leases whose done record already exists (a worker killed
+        between completing and dropping its lease).  Any handle may
+        call this — workers do when idle, the coordinator does every
+        poll — so progress never depends on one particular survivor.
+        """
+        now = time.time() if now is None else now
+        requeued: list[str] = []
+        try:
+            entries = list(os.scandir(self.leases_dir))
+        except FileNotFoundError:
+            return requeued
+        for entry in entries:
+            name = entry.name
+            if _CLAIM_MARKER in name:
+                original = name.split(_CLAIM_MARKER, 1)[0]
+                if self._age_of(entry, now) > self.lease_ttl:
+                    self._rename_quiet(entry.path, self.tasks_dir / original)
+                continue
+            if (self.done_dir / name).exists():
+                self._unlink_quiet(entry.path)
+                continue
+            if self._age_of(entry, now) > self.lease_ttl:
+                if self._rename_quiet(entry.path, self.tasks_dir / name):
+                    requeued.append(name)
+        return requeued
+
+    @staticmethod
+    def _age_of(entry, now: float) -> float:
+        """Lease age in seconds; future mtimes (a skewed writer clock)
+        clamp to zero so skew can only ever *delay* a re-lease."""
+        try:
+            return max(0.0, now - entry.stat().st_mtime)
+        except OSError:
+            return 0.0  # vanished mid-scan — somebody else acted on it
+
+    @staticmethod
+    def _rename_quiet(src, dst) -> bool:
+        try:
+            os.rename(src, dst)
+            return True
+        except OSError:
+            return False
+
+    @staticmethod
+    def _unlink_quiet(path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def mark_done(self, name: str, record: dict) -> None:
+        """Persist a completion record, then drop the lease.
+
+        Done-then-unlease ordering is what makes a crash in between
+        recoverable: the stale lease is garbage (cleared by the next
+        reclaim scan), never a reason to re-run the cell.
+        """
+        self._write_atomic(self.done_dir / name, record)
+        self._unlink_quiet(self.leases_dir / name)
+
+    def done_record(self, name: str) -> Optional[dict]:
+        try:
+            return json.loads((self.done_dir / name).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def reset_pending_attempts(self) -> None:
+        """Zero the attempt counter on every pending task.
+
+        A no-resume coordinator runs this after its reopen pre-pass:
+        a task re-queued from a *previous* run's expired lease carries
+        that run's attempt count, and claiming it at attempt > 1 would
+        trigger the within-run crash-recovery shortcut (reuse the
+        cached summary) on a run whose contract is to re-execute.
+        """
+        for name in self.pending_names():
+            path = self.tasks_dir / name
+            try:
+                payload = json.loads(path.read_text())
+                if payload.get("attempt"):
+                    payload["attempt"] = 0
+                    self._write_atomic(path, payload)
+            except (OSError, ValueError, TypeError, AttributeError):
+                continue  # claimed mid-scan, or corrupt (quarantined later)
+
+    def complete_cached(self, name: str, record: dict) -> None:
+        """Complete a task without executing it — its summary is
+        already in the result cache (a resuming coordinator's
+        pre-pass).  Clears whatever queue state the task was left in:
+        pending, or a stale lease from a crashed fleet."""
+        self._write_atomic(self.done_dir / name, record)
+        self._unlink_quiet(self.tasks_dir / name)
+        self._unlink_quiet(self.leases_dir / name)
+
+    def ensure_pending(self, name: str, scenario: Scenario, seq: int) -> None:
+        """Put a task back in play when its outcome is *not* usable
+        (summary missing from the cache, or the cell failed).
+
+        A resuming/retrying coordinator calls this: a stale done record
+        (the cache entry was deleted, a schema bump invalidated it, or
+        the previous attempt errored) is dropped and the task file
+        restored, so the cache — not the queue's history — is the
+        source of truth.  A cell with a live pending task or lease is
+        left *entirely* untouched, done record included: the lease
+        holder may be completing it right now, and deleting a done
+        record out from under its ``mark_done`` would strand the cell
+        with no task, no lease, and no record — an unfinishable sweep.
+        """
+        if (self.tasks_dir / name).exists() or (self.leases_dir / name).exists():
+            return
+        self._unlink_quiet(self.done_dir / name)
+        self._write_atomic(
+            self.tasks_dir / name,
+            {
+                "schema": QUEUE_SCHEMA_VERSION,
+                "seq": seq,
+                "scenario": scenario.to_dict(),
+                "attempt": 0,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Hygiene
+    # ------------------------------------------------------------------
+    def sweep_stale(self) -> None:
+        """GC orphaned write-temps (killed writers) past the lease TTL.
+
+        Claim-temps are *not* swept here — they are requeued with their
+        task identity intact by :meth:`reclaim_expired`.
+        """
+        cutoff = time.time() - max(self.lease_ttl, DEFAULT_LEASE_TTL)
+        for directory in (self.tasks_dir, self.done_dir, self.root):
+            try:
+                entries = list(os.scandir(directory))
+            except FileNotFoundError:
+                continue
+            for entry in entries:
+                if ".tmp" not in entry.name or not entry.is_file():
+                    continue
+                try:
+                    if entry.stat().st_mtime < cutoff:
+                        os.unlink(entry.path)
+                except OSError:
+                    continue
+
+    def _write_atomic(self, path: Path, payload: dict) -> None:
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
+    # ------------------------------------------------------------------
+    def scenarios_by_name(self, ordered: Iterable[Scenario]) -> dict[str, Scenario]:
+        """Map manifest task names back to their scenarios."""
+        return {task_name(seq, s): s for seq, s in enumerate(ordered)}

@@ -1,0 +1,186 @@
+"""The sweep-worker loop: claim, simulate, persist, repeat.
+
+A worker is any process running :class:`SweepWorker.run` against a
+queue directory — on the coordinator's machine, or on another machine
+sharing the directory.  Workers are interchangeable and disposable
+(the SpotTune premise applied to our own fleet): they hold no sweep
+state beyond their current lease, so SIGKILLing one at any instruction
+loses at most one *in-flight* cell, which re-leases to a survivor
+after the TTL.
+
+Execution goes through the unchanged :func:`repro.sweep.runner
+.run_scenario` path and the summaries land in the same
+:class:`~repro.sweep.cache.SweepCache` (and trained banks in the same
+:class:`~repro.sweep.banks.BankCache`, flock-guarded) that serial and
+pool sweeps use — which is what keeps the distributed result
+byte-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import socket
+import uuid
+import time
+from typing import Callable, Optional
+
+from repro.sweep import banks as banks_mod
+from repro.sweep.banks import BankCache
+from repro.sweep.cache import SweepCache
+from repro.sweep.distrib.lease import Heartbeat, Lease
+from repro.sweep.distrib.queue import TaskQueue
+
+
+#: Worker ids become part of lease filenames, so they must be plain
+#: path-safe tokens — a ``/`` would make every claim rename fail
+#: (silently, as a lost race) and the worker would spin forever.
+_WORKER_ID_RE = re.compile(r"[A-Za-z0-9._-]+")
+
+
+def default_worker_id() -> str:
+    """Fleet-unique, filesystem-safe worker identity."""
+    host = socket.gethostname().split(".")[0].replace("/", "-") or "host"
+    return f"{host}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+class SweepWorker:
+    """Drains one queue until the sweep completes (or a cap is hit).
+
+    Args:
+        queue: The broker directory (a :class:`TaskQueue` handle).
+        worker_id: Stamp written into leases and done records.
+        poll_interval: Idle sleep between claim attempts while other
+            workers still hold leases.
+        max_cells: Stop after executing this many cells (testing knob);
+            ``None`` runs until the whole sweep is done.
+        on_cell: ``on_cell(lease, record)`` called after each cell this
+            worker finishes (the CLI prints a line from it).
+        on_claim: ``on_claim(lease)`` called the moment a cell is
+            claimed, *before* execution — the observable the
+            kill-mid-cell tests synchronise on.
+    """
+
+    def __init__(
+        self,
+        queue: TaskQueue,
+        worker_id: Optional[str] = None,
+        poll_interval: float = 0.2,
+        max_cells: Optional[int] = None,
+        on_cell: Optional[Callable] = None,
+        on_claim: Optional[Callable] = None,
+    ) -> None:
+        self.queue = queue
+        self.worker_id = worker_id or default_worker_id()
+        if not _WORKER_ID_RE.fullmatch(self.worker_id) or (
+            # These substrings are the queue's own markers: an id
+            # containing them would make the worker's claim-temps
+            # invisible to (or misparsed by) liveness scans.
+            ".tmp" in self.worker_id
+            or ".claim-" in self.worker_id
+        ):
+            raise ValueError(
+                f"worker id {self.worker_id!r} must match "
+                f"{_WORKER_ID_RE.pattern} and not contain '.tmp' or "
+                "'.claim-' (it names lease files)"
+            )
+        self.poll_interval = poll_interval
+        self.max_cells = max_cells
+        self.on_cell = on_cell
+        self.on_claim = on_claim
+        self.executed = 0
+        self.failed = 0
+        manifest = queue.manifest
+        cache_root = queue.resolve(manifest.get("cache"))
+        banks_root = queue.resolve(manifest.get("banks"))
+        if cache_root is None:
+            raise ValueError("queue manifest records no result cache")
+        # The coordinator's SweepCache already swept stale temps.
+        self.cache = SweepCache(cache_root, sweep_stale=False)
+        self.bank_cache = BankCache(banks_root) if banks_root is not None else None
+
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Work until the sweep completes; returns cells executed."""
+        while not self._reached_cap():
+            lease = self.queue.claim(self.worker_id)
+            if lease is None:
+                if self.queue.is_complete():
+                    break
+                if self.queue.retired():
+                    # The queue was retired (the coordinator assembled
+                    # the result and removed it) or deleted outright —
+                    # there is nothing left to wait for.  Transient
+                    # manifest read errors deliberately don't count.
+                    break
+                # Nothing claimable: give crashed siblings' leases a
+                # chance to expire, then retry immediately if one did.
+                if self.queue.reclaim_expired():
+                    continue
+                time.sleep(self.poll_interval)
+                continue
+            self._run_cell(lease)
+        return self.executed
+
+    def _reached_cap(self) -> bool:
+        return self.max_cells is not None and self.executed >= self.max_cells
+
+    # ------------------------------------------------------------------
+    def _run_cell(self, lease: Lease) -> None:
+        from repro.sweep.runner import run_scenario
+
+        if self.on_claim is not None:
+            self.on_claim(lease)
+        scenario = lease.scenario
+        summary = error = None
+        from_cache = False
+        if lease.attempt > 1:
+            # A re-leased cell may already be persisted (its previous
+            # owner crashed after the cache write): reuse instead of
+            # re-simulating, so crash recovery stays effectively
+            # exactly-once even at the store/done boundary.
+            summary = self.cache.load(scenario)
+            from_cache = summary is not None
+        trained_before = banks_mod.train_count()
+        if summary is None:
+            # The heartbeat thread renews the lease every TTL/4 for as
+            # long as the simulation runs, so a slow cell is never
+            # mistaken for a dead worker's.
+            with Heartbeat(lease) as heartbeat:
+                try:
+                    summary = run_scenario(scenario, bank_cache=self.bank_cache)
+                except Exception as exc:  # noqa: BLE001 — isolate sibling cells
+                    error = f"{type(exc).__name__}: {exc}"
+            if heartbeat.lost:
+                # Overthrown: the whole process stalled past the TTL
+                # (heartbeat thread included — e.g. a laptop suspend)
+                # and the cell was re-leased.  The new owner persists;
+                # we write nothing — not even the (identical) summary —
+                # so the fleet observes a single effective execution.
+                return
+        trained = banks_mod.train_count() - trained_before
+        if not lease.renew():
+            return  # overthrown between the last beat and now
+        if error is None and not from_cache:
+            self.cache.store(scenario, summary)
+        self.executed += 1
+        if error is not None:
+            self.failed += 1
+        record = {
+            "ok": error is None,
+            "error": error,
+            "fingerprint": scenario.fingerprint(),
+            "worker": self.worker_id,
+            "attempt": lease.attempt,
+            "bank_trainings": trained,
+            "from_cache": from_cache,
+        }
+        try:
+            lease.complete(record)
+        except OSError:
+            # The queue vanished mid-completion (the coordinator
+            # assembled the result and retired it): the summary is in
+            # the cache, nothing is lost, nobody needs the record.
+            return
+        if self.on_cell is not None:
+            self.on_cell(lease, record)

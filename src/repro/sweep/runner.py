@@ -146,9 +146,12 @@ def run_scenario(
             checkpoint_policy=scenario.checkpoint_policy,
             reschedule_after=scenario.reschedule_after,
             refund_enabled=scenario.refund_enabled,
+            mcnt=scenario.mcnt,
         )
     else:
-        result = ctx.baseline_run(scenario.workload, scenario.instance)
+        result = ctx.baseline_run(
+            scenario.workload, scenario.instance, mcnt=scenario.mcnt
+        )
     return summarize_run(result)
 
 
@@ -211,6 +214,69 @@ def _pool_run_cell(
         None,
         banks_mod.train_count() - trained_before,
     )
+
+
+def shard_cells(pending: list[Scenario], jobs: int) -> list[list[Scenario]]:
+    """Partition cells into ``(seed, scale)`` groups for the queue.
+
+    Building an experiment context (regenerating every market's price
+    history) dominates small cells, so cells sharing a context stick
+    together; buckets larger than an even ``jobs``-way split are
+    subdivided so the round-robin of :func:`task_order` spreads even a
+    single-seed grid across all workers.
+    """
+    buckets: dict[tuple[int, str], list[Scenario]] = {}
+    for scenario in pending:
+        buckets.setdefault((scenario.seed, scenario.scale), []).append(scenario)
+    target = max(1, math.ceil(len(pending) / max(1, jobs)))
+    shards = []
+    for bucket in buckets.values():
+        for start in range(0, len(bucket), target):
+            shards.append(bucket[start : start + target])
+    return shards
+
+
+def task_order(pending: list[Scenario], jobs: int) -> list[Scenario]:
+    """Queue order for streaming dispatch — pool and distributed alike.
+
+    Round-robins across the :func:`shard_cells` groups so the first
+    ``jobs`` tasks handed out belong to distinct shards — distinct
+    contexts get built (and distinct banks trained) concurrently at
+    sweep start — while cells of one shard keep their relative order,
+    landing on workers whose LRU still holds their context.
+    """
+    shards = shard_cells(pending, jobs)
+    ordered: list[Scenario] = []
+    rank = 0
+    while len(ordered) < len(pending):
+        for shard in shards:
+            if rank < len(shard):
+                ordered.append(shard[rank])
+        rank += 1
+    return ordered
+
+
+def resolve_caches(
+    cache: Union[str, Path, SweepCache, None],
+    bank_cache: Union[str, Path, BankCache, None, bool] = None,
+) -> tuple[Union[SweepCache, None], Union[BankCache, None]]:
+    """Normalise the (result cache, bank cache) pair every runner takes.
+
+    ``bank_cache=None`` co-locates the bank cache under the result
+    cache root (``banks/``) when one is set; ``False`` disables bank
+    caching; a path or :class:`BankCache` pins an explicit location.
+    """
+    if cache is not None and not isinstance(cache, SweepCache):
+        cache = SweepCache(cache)
+    if bank_cache is False:
+        banks = None
+    elif bank_cache is None:
+        banks = BankCache(cache.banks_root) if cache is not None else None
+    elif isinstance(bank_cache, BankCache):
+        banks = bank_cache
+    else:
+        banks = BankCache(bank_cache)
+    return cache, banks
 
 
 @dataclass
@@ -350,19 +416,7 @@ class SweepRunner:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1: {jobs}")
         self.jobs = jobs
-        self.cache = (
-            cache if isinstance(cache, SweepCache) or cache is None else SweepCache(cache)
-        )
-        if bank_cache is False:
-            self.bank_cache = None
-        elif bank_cache is None:
-            self.bank_cache = (
-                BankCache(self.cache.banks_root) if self.cache is not None else None
-            )
-        elif isinstance(bank_cache, BankCache):
-            self.bank_cache = bank_cache
-        else:
-            self.bank_cache = BankCache(bank_cache)
+        self.cache, self.bank_cache = resolve_caches(cache, bank_cache)
         self.resume = resume
         self._context = context
 
@@ -443,43 +497,10 @@ class SweepRunner:
 
     # ------------------------------------------------------------------
     def _shards(self, pending: list[Scenario]) -> list[list[Scenario]]:
-        """Partition cells into ``(seed, scale)`` groups for the queue.
-
-        Building an experiment context (regenerating every market's
-        price history) dominates small cells, so cells sharing a
-        context stick together; buckets larger than an even ``jobs``-
-        way split are subdivided so the round-robin of
-        :meth:`_task_order` spreads even a single-seed grid across all
-        workers.
-        """
-        buckets: dict[tuple[int, str], list[Scenario]] = {}
-        for scenario in pending:
-            buckets.setdefault((scenario.seed, scenario.scale), []).append(scenario)
-        target = max(1, math.ceil(len(pending) / self.jobs))
-        shards = []
-        for bucket in buckets.values():
-            for start in range(0, len(bucket), target):
-                shards.append(bucket[start : start + target])
-        return shards
+        return shard_cells(pending, self.jobs)
 
     def _task_order(self, pending: list[Scenario]) -> list[Scenario]:
-        """Queue order for streaming dispatch.
-
-        Round-robins across the :meth:`_shards` groups so the first
-        ``jobs`` tasks handed out belong to distinct shards — distinct
-        contexts get built (and distinct banks trained) concurrently at
-        sweep start — while cells of one shard keep their relative
-        order, landing on workers whose LRU still holds their context.
-        """
-        shards = self._shards(pending)
-        ordered: list[Scenario] = []
-        rank = 0
-        while len(ordered) < len(pending):
-            for shard in shards:
-                if rank < len(shard):
-                    ordered.append(shard[rank])
-            rank += 1
-        return ordered
+        return task_order(pending, self.jobs)
 
     def _run_pool(self, pending, emit, failures) -> None:
         # Prefer fork where available: workers inherit any context the

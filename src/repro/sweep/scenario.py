@@ -31,7 +31,11 @@ from repro.sim.rng import RngStream
 #: root now reserves the ``banks/`` subdirectory and trained-predictor
 #: cells may be computed from a cached bank, so pre-bank-cache caches
 #: are not resumed against this layout.
-SCHEMA_VERSION = 3
+#: v4: ``mcnt`` (parallel-selection count, paper Table I) became a
+#: first-class scenario field — every fingerprint payload changed — and
+#: the cache root now also reserves the ``queue/`` subdirectory for the
+#: distributed task broker.
+SCHEMA_VERSION = 4
 
 APPROACHES = ("spottune", "single_spot")
 PREDICTOR_KINDS = ("revpred", "tributary", "oracle", "constant")
@@ -42,6 +46,7 @@ _AXIS_ORDER = (
     "approach",
     "workload",
     "theta",
+    "mcnt",
     "predictor",
     "instance",
     "checkpoint_policy",
@@ -73,6 +78,9 @@ class Scenario:
     reschedule_after: float = 3600.0
     #: The provider's first-hour refund rule; False ablates it.
     refund_enabled: bool = True
+    #: How many top models the run finally selects (paper Table I);
+    #: consulted by both approaches, so it is never normalised away.
+    mcnt: int = 3
     seed: int = 0
     scale: str = "small"
 
@@ -106,6 +114,9 @@ class Scenario:
             raise ValueError(f"reschedule_after must be positive: {self.reschedule_after}")
         if self.scale not in ("small", "paper"):
             raise ValueError(f"scale must be 'small' or 'paper': {self.scale}")
+        if int(self.mcnt) != self.mcnt or int(self.mcnt) < 1:
+            raise ValueError(f"mcnt must be a positive integer: {self.mcnt}")
+        object.__setattr__(self, "mcnt", int(self.mcnt))
         object.__setattr__(self, "theta", round(float(self.theta), 6))
         object.__setattr__(self, "reschedule_after", float(self.reschedule_after))
         object.__setattr__(self, "refund_enabled", bool(self.refund_enabled))
@@ -141,6 +152,10 @@ class Scenario:
                 core += "/no-refund"
         else:
             core = f"single_spot/{self.workload}/instance={self.instance}"
+        # Like the other ablation knobs, a default mcnt keeps the
+        # pre-existing label so RngStream keys survive the new axis.
+        if self.mcnt != MCNT_DEFAULT:
+            core += f"/mcnt={self.mcnt}"
         return f"{core}/scale={self.scale}"
 
     def fingerprint(self) -> str:
@@ -175,6 +190,9 @@ class Scenario:
 RESCHEDULE_AFTER_DEFAULT: float = Scenario.__dataclass_fields__[
     "reschedule_after"
 ].default
+
+#: The dataclass default of ``mcnt``, derived for the same reason.
+MCNT_DEFAULT: int = Scenario.__dataclass_fields__["mcnt"].default
 
 
 def _as_axis(value: Any) -> list[Any]:

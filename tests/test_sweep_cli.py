@@ -189,7 +189,10 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         progress = [line for line in out.splitlines() if line.startswith("[")]
         assert len(progress) == 4
-        assert progress[0].startswith("[1/4] ")
+        # Each line carries the remaining queue depth and elapsed wall
+        # seconds alongside the cell outcome.
+        assert progress[0].startswith("[1/4] queue=3 t=")
+        assert progress[-1].startswith("[4/4] queue=0 t=")
         assert "cost=" in progress[0]
 
     def test_failed_cells_reported_and_completed_ones_cached(
@@ -298,3 +301,67 @@ class TestKillMidSweep:
         )
         out = capsys.readouterr().out
         assert f"executed {4 - completed} cell(s), {completed} from cache" in out
+
+
+class TestDistributedCommand:
+    """``repro sweep --distributed`` and ``repro sweep-worker`` e2e."""
+
+    def test_parser_distributed_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--distributed", "--jobs", "0", "--queue", "q",
+             "--lease-ttl", "5", "--out", "r.json"]
+        )
+        assert args.distributed and args.jobs == 0
+        assert args.queue == "q" and args.lease_ttl == 5.0 and args.out == "r.json"
+
+    def test_parser_worker_flags(self):
+        args = build_parser().parse_args(
+            ["sweep-worker", "--queue", "q", "--max-cells", "2"]
+        )
+        assert args.command == "sweep-worker"
+        assert args.queue == "q" and args.max_cells == 2
+
+    def test_worker_requires_queue(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep-worker"])
+
+    def test_jobs_zero_without_distributed_rejected(self, capsys):
+        assert main(["sweep", "--jobs", "0", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "jobs must be >= 1" in err
+        assert "--distributed" in err  # points at the coordinate-only mode
+
+    def test_distributed_without_cache_rejected(self, capsys):
+        assert main(["sweep", "--distributed", "--no-cache"]) == 2
+        assert "--no-cache" in capsys.readouterr().err
+
+    def test_broker_flags_require_distributed(self, capsys):
+        assert main(["sweep", "--lease-ttl", "5", "--no-cache"]) == 2
+        assert "--distributed" in capsys.readouterr().err
+        assert main(["sweep", "--queue", "q", "--no-cache"]) == 2
+        assert "--distributed" in capsys.readouterr().err
+
+    def test_worker_against_missing_queue_fails_fast(self, tmp_path, capsys):
+        assert main(["sweep-worker", "--queue", str(tmp_path / "nope"),
+                     "--wait-manifest", "0"]) == 2
+        assert "cannot join sweep" in capsys.readouterr().err
+
+    def test_distributed_matches_serial_byte_for_byte(
+        self, tmp_path, spec_path, capsys
+    ):
+        serial_out = tmp_path / "serial.json"
+        distrib_out = tmp_path / "distrib.json"
+        assert main(
+            ["sweep", "--spec", str(spec_path),
+             "--cache-dir", str(tmp_path / "serial-cells"),
+             "--out", str(serial_out)]
+        ) == 0
+        assert main(
+            ["sweep", "--spec", str(spec_path), "--distributed", "--jobs", "1",
+             "--cache-dir", str(tmp_path / "distrib-cells"),
+             "--out", str(distrib_out)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert serial_out.read_bytes() == distrib_out.read_bytes()
+        assert "executed 4 cell(s), 0 from cache" in out
+        assert f"queue: {tmp_path / 'distrib-cells' / 'queue'}" in out

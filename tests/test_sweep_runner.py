@@ -5,9 +5,13 @@ cell run serially, through the worker pool, and replayed from the
 on-disk cache must yield byte-identical canonical-JSON summaries.
 """
 
+import os
+import time
+
 import pytest
 
 from repro.analysis.context import build_context
+from repro.sweep import cache as cache_mod
 from repro.sweep import runner as runner_mod
 from repro.sweep.cache import SweepCache, canonical_json
 from repro.sweep.runner import (
@@ -49,7 +53,7 @@ class TestSerialRunner:
         runner.run(tiny_grid())
         # The figure runners' memoised entry for the same cell exists,
         # so a later figure reuses the sweep's simulation.
-        key = ("spottune", "LiR", 0.7, "oracle", "notice", 3600.0, True)
+        key = ("spottune", "LiR", 0.7, "oracle", "notice", 3600.0, True, 3)
         assert key in context._run_cache
 
     def test_summary_matches_direct_run(self, context):
@@ -458,3 +462,73 @@ class TestMemoKeyGranularity:
             key[2] for key in context._run_cache if key[0] == "spottune" and key[1] == "LiR"
         }
         assert {0.1234, 0.1226} <= thetas
+
+
+class TestMcntThreading:
+    """ISSUE 5 satellite: the mcnt grid axis reaches model selection
+    in both the SpotTune and the Single-Spot execution paths."""
+
+    def test_mcnt_bounds_spottune_selection(self, context):
+        narrow = run_scenario(
+            Scenario(workload="LiR", theta=0.7, predictor="oracle", mcnt=1), context
+        )
+        default = run_scenario(
+            Scenario(workload="LiR", theta=0.7, predictor="oracle"), context
+        )
+        assert len(narrow["selected"]) == 1
+        assert len(default["selected"]) == 3
+        assert narrow["selected"][0] in default["selected"]
+
+    def test_mcnt_bounds_baseline_selection(self, context):
+        narrow = run_scenario(
+            Scenario(
+                approach="single_spot", workload="LiR", instance="r4.large", mcnt=1
+            ),
+            context,
+        )
+        assert len(narrow["selected"]) == 1
+
+    def test_distinct_mcnt_cells_never_share_a_memoised_run(self, context):
+        a = run_scenario(
+            Scenario(workload="LiR", theta=0.7, predictor="oracle", mcnt=1), context
+        )
+        b = run_scenario(
+            Scenario(workload="LiR", theta=0.7, predictor="oracle", mcnt=2), context
+        )
+        assert len(a["selected"]) == 1
+        assert len(b["selected"]) == 2
+
+
+class TestStaleTmpSweep:
+    """ISSUE 5 satellite: orphaned write-temps of killed writers are
+    garbage-collected when a cache opens, instead of piling up."""
+
+    def test_old_orphans_removed_fresh_ones_kept(self, tmp_path):
+        root = tmp_path / "cells"
+        root.mkdir()
+        orphan = root / "deadbeef.json.tmp12345"
+        orphan.write_text("{}")
+        old = time.time() - 2 * cache_mod._STALE_TMP_SECONDS
+        os.utime(orphan, (old, old))
+        live = root / "cafef00d.json.tmp99999"  # a concurrent writer's
+        live.write_text("{}")
+        SweepCache(root)
+        assert not orphan.exists()
+        assert live.exists()
+
+    def test_sweep_can_be_disabled_for_read_side_handles(self, tmp_path):
+        root = tmp_path / "cells"
+        root.mkdir()
+        orphan = root / "deadbeef.json.tmp12345"
+        orphan.write_text("{}")
+        old = time.time() - 2 * cache_mod._STALE_TMP_SECONDS
+        os.utime(orphan, (old, old))
+        SweepCache(root, sweep_stale=False)
+        assert orphan.exists()
+
+    def test_completed_entries_survive_the_sweep(self, tmp_path):
+        cache = SweepCache(tmp_path / "cells")
+        scenario = Scenario(workload="LoR")
+        cache.store(scenario, {"cost": 1.0})
+        SweepCache(tmp_path / "cells")
+        assert cache.load(scenario) == {"cost": 1.0}

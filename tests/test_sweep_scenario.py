@@ -81,6 +81,7 @@ class TestFingerprint:
             Scenario(workload="LoR", checkpoint_policy="periodic:900"),
             Scenario(workload="LoR", reschedule_after=7200.0),
             Scenario(workload="LoR", refund_enabled=False),
+            Scenario(workload="LoR", mcnt=2),
             Scenario(workload="LoR", seed=1),
             Scenario(workload="LoR", scale="paper"),
         ]
@@ -188,3 +189,58 @@ class TestRescheduleDefault:
         assert "recycle=7200" in ablated_row[1]
         assert "recycle" not in base.label()
         assert "recycle=7200" in ablated.label()
+
+
+class TestMcntAxis:
+    """ISSUE 5 satellite: mcnt (parallel-selection count, paper
+    Table I) is a first-class grid axis for both approaches."""
+
+    def test_default_derived_from_the_dataclass_field(self):
+        from dataclasses import fields
+
+        from repro.sweep.scenario import MCNT_DEFAULT
+
+        field_default = next(f.default for f in fields(Scenario) if f.name == "mcnt")
+        assert MCNT_DEFAULT == field_default
+
+    def test_invalid_mcnt_rejected(self):
+        for bad in (0, -1, 2.5):
+            with pytest.raises(ValueError, match="mcnt"):
+                Scenario(workload="LoR", mcnt=bad)
+
+    def test_integral_float_normalised_to_int(self):
+        scenario = Scenario(workload="LoR", mcnt=2.0)  # JSON specs carry floats
+        assert scenario.mcnt == 2 and isinstance(scenario.mcnt, int)
+        assert scenario.fingerprint() == Scenario(workload="LoR", mcnt=2).fingerprint()
+
+    def test_default_mcnt_keeps_the_pre_axis_label(self):
+        # RngStream keys derive from the label: the new axis must not
+        # shift every existing cell's market randomness.
+        assert "mcnt" not in Scenario(workload="LoR").label()
+        assert "mcnt=5" in Scenario(workload="LoR", mcnt=5).label()
+
+    def test_mcnt_labelled_for_both_approaches(self):
+        from repro.sweep.aggregate import _scenario_columns
+        from repro.sweep.runner import CellResult
+
+        tuned = Scenario(workload="LoR", mcnt=2)
+        baseline = Scenario(
+            workload="LoR", approach="single_spot", instance="r4.large", mcnt=2
+        )
+        assert "mcnt=2" in _scenario_columns(CellResult(tuned, {}))[1]
+        assert "mcnt=2" in _scenario_columns(CellResult(baseline, {}))[1]
+        assert "mcnt=2" in baseline.label()
+
+    def test_mcnt_sweeps_as_a_grid_axis(self):
+        grid = ScenarioGrid.from_axes(
+            workload="LoR", theta=0.7, predictor="oracle", mcnt=[1, 3, 5]
+        )
+        assert sorted(s.mcnt for s in grid) == [1, 3, 5]
+        assert len({s.fingerprint() for s in grid}) == 3
+
+    def test_mcnt_spec_round_trip(self):
+        grid = ScenarioGrid.from_spec(
+            {"workload": "LoR", "theta": 0.7, "predictor": "oracle", "mcnt": [1, 2]}
+        )
+        for scenario in grid:
+            assert Scenario.from_dict(scenario.to_dict()) == scenario
