@@ -214,9 +214,17 @@ def _run_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if not args.distributed and (args.queue or args.lease_ttl is not None):
+    if not args.distributed and (
+        args.queue
+        or args.lease_ttl is not None
+        or args.max_attempts is not None
+        or args.retry_backoff is not None
+        or args.fail_fast
+        or args.fault_plan
+    ):
         print(
-            "invalid sweep options: --queue/--lease-ttl configure the "
+            "invalid sweep options: --queue/--lease-ttl/--max-attempts/"
+            "--retry-backoff/--fail-fast/--fault-plan configure the "
             "task broker and need --distributed",
             file=sys.stderr,
         )
@@ -239,6 +247,13 @@ def _run_sweep(args: argparse.Namespace) -> int:
         print(f"invalid sweep spec: {error}", file=sys.stderr)
         return 2
     cache = None if args.no_cache else args.cache_dir
+    if cache is not None and args.no_fsync and not args.distributed:
+        # The distributed path threads fsync through the queue manifest
+        # (so the whole fleet agrees); the serial/pool path only has
+        # the result cache to configure.
+        from repro.sweep import SweepCache
+
+        cache = SweepCache(cache, fsync=False)
     if args.no_bank_cache:
         bank_cache = False
     else:
@@ -251,6 +266,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
                     "--distributed needs the result cache (summaries travel "
                     "from workers to the coordinator through it); drop --no-cache"
                 )
+            from repro.sweep.distrib import (
+                DEFAULT_BACKOFF_BASE,
+                DEFAULT_MAX_ATTEMPTS,
+            )
+
             runner = DistributedSweepRunner(
                 cache=cache,
                 queue_dir=args.queue,
@@ -260,6 +280,19 @@ def _run_sweep(args: argparse.Namespace) -> int:
                 lease_ttl=(
                     args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL
                 ),
+                max_attempts=(
+                    args.max_attempts
+                    if args.max_attempts is not None
+                    else DEFAULT_MAX_ATTEMPTS
+                ),
+                backoff_base=(
+                    args.retry_backoff
+                    if args.retry_backoff is not None
+                    else DEFAULT_BACKOFF_BASE
+                ),
+                fail_fast=args.fail_fast,
+                fault_plan=args.fault_plan,
+                fsync=not args.no_fsync,
             )
         else:
             runner = SweepRunner(
@@ -287,9 +320,50 @@ def _run_sweep(args: argparse.Namespace) -> int:
         return 2
     except SweepCellError as error:
         # Completed cells are already on disk; only failures re-run.
-        for scenario, message in error.failures:
+        for index, (scenario, message) in enumerate(error.failures):
             print(f"cell failed: {scenario.label()}: {message}", file=sys.stderr)
+            detail = (
+                error.details[index] if index < len(error.details) else None
+            )
+            if not detail:
+                continue
+            # The quarantine ledger's post-mortem: where it died, who
+            # tried, how many times.
+            traceback_text = detail.get("traceback")
+            if traceback_text:
+                print(traceback_text.rstrip(), file=sys.stderr)
+            attempts = detail.get("attempts") or []
+            tried = sorted(
+                {a.get("worker") for a in attempts if a.get("worker")}
+            )
+            print(
+                f"  attempts={len(attempts)} worker(s)={', '.join(tried)}",
+                file=sys.stderr,
+            )
         print(f"{len(error.failures)} cell(s) failed; {recovery}", file=sys.stderr)
+        if args.distributed:
+            print(
+                f"failure ledger: {runner.queue_dir / 'failures'}",
+                file=sys.stderr,
+            )
+        if args.out and error.completed:
+            # Partial result: the surviving cells, still grid-ordered
+            # and canonical — byte-identical to a serial run of the
+            # same surviving cells.
+            survived = {
+                cell.scenario.fingerprint(): cell.summary
+                for cell in error.completed
+            }
+            partial = [
+                survived[s.fingerprint()]
+                for s in grid
+                if s.fingerprint() in survived
+            ]
+            Path(args.out).write_text(canonical_json(partial) + "\n")
+            print(
+                f"wrote partial {args.out} ({len(partial)}/{len(grid)} cells)",
+                file=sys.stderr,
+            )
         return 1
     except KeyboardInterrupt:
         print(f"\ninterrupted — {recovery}", file=sys.stderr)
@@ -300,6 +374,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
         title=f"== sweep: {len(result)} cells ==",
     ), flush=True)
     mode = f"queue: {runner.queue_dir}" if args.distributed else f"jobs={args.jobs}"
+    if args.distributed and runner.worker_restarts:
+        mode += f"; supervisor restarted {runner.worker_restarts} worker(s)"
     print(
         f"\nexecuted {result.executed_count} cell(s), {result.cached_count} from "
         f"cache; trained {result.bank_trainings} predictor bank(s); "
@@ -315,8 +391,20 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
 
 def _run_sweep_worker(args: argparse.Namespace) -> int:
-    from repro.sweep.distrib import QueueError, SweepWorker, TaskQueue
+    from repro.sweep.distrib import FaultPlan, QueueError, SweepWorker, TaskQueue
 
+    plan = None
+    if args.fault_plan:
+        try:
+            # Hit counters bind to the queue's shared state dir, so one
+            # plan file governs the whole fleet: a rule with times=1
+            # fires once fleet-wide, however many workers load it.
+            plan = FaultPlan.load(args.fault_plan).bind_state(
+                Path(args.queue) / "fault-state"
+            )
+        except ValueError as error:
+            print(f"cannot join sweep: {error}", file=sys.stderr)
+            return 2
     try:
         queue = TaskQueue.attach(args.queue, wait_seconds=args.wait_manifest)
     except QueueError as error:
@@ -334,9 +422,18 @@ def _run_sweep_worker(args: argparse.Namespace) -> int:
 
     def on_cell(lease, record):
         status = "ok" if record["ok"] else f"FAILED {record['error']}"
+        if record.get("quarantined"):
+            status += " (quarantined: retry budget exhausted)"
         if record.get("from_cache"):
             status += " (summary already cached)"
         print(f"done {lease.name} {status}", flush=True)
+
+    def on_retry(lease, error, delay):
+        print(
+            f"retry {lease.name} attempt={lease.attempt} failed ({error}); "
+            f"requeued with {delay:.2f}s backoff",
+            flush=True,
+        )
 
     try:
         worker = SweepWorker(
@@ -346,6 +443,8 @@ def _run_sweep_worker(args: argparse.Namespace) -> int:
             max_cells=args.max_cells,
             on_cell=on_cell,
             on_claim=on_claim,
+            on_retry=on_retry,
+            faults=plan,
         )
     except ValueError as error:
         print(f"cannot join sweep: {error}", file=sys.stderr)
@@ -431,9 +530,35 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the broker's DEFAULT_LEASE_TTL, 60s)",
     )
     sweep.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="retry budget per cell before quarantine into queue/failures/ "
+        "(default: 3; needs --distributed)",
+    )
+    sweep.add_argument(
+        "--retry-backoff", type=float, default=None, metavar="SECONDS",
+        help="base delay before a failed cell's first retry, doubling per "
+        "attempt with deterministic jitter (default: 1s; needs --distributed)",
+    )
+    sweep.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort on the first failed cell instead of draining the "
+        "surviving grid into a partial result (needs --distributed)",
+    )
+    sweep.add_argument(
+        "--fault-plan", metavar="FILE",
+        help="JSON fault-injection plan to rehearse outages against the "
+        "fleet (needs --distributed; see README 'Failure semantics')",
+    )
+    sweep.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsync on queue/cache publishes (faster, but a host "
+        "crash may surface published-but-empty records)",
+    )
+    sweep.add_argument(
         "--out", metavar="FILE",
         help="write the grid-ordered canonical-JSON summaries here "
-        "(byte-comparable across serial/pool/distributed runs)",
+        "(byte-comparable across serial/pool/distributed runs); on a "
+        "partially-failed sweep, the surviving cells are written instead",
     )
     sweep.set_defaults(func=_run_sweep)
 
@@ -459,6 +584,11 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--worker-id", default=None,
         help="lease/done-record stamp (default: host-pid-random)",
+    )
+    worker.add_argument(
+        "--fault-plan", metavar="FILE",
+        help="JSON fault-injection plan; hit counters are shared through "
+        "the queue's fault-state/ dir so one plan governs the whole fleet",
     )
     worker.set_defaults(func=_run_sweep_worker)
     return parser

@@ -45,11 +45,57 @@ def canonical_json(payload: Any) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
+def fsync_write_text(path: Path, text: str, *, fsync: bool = True) -> None:
+    """Write ``text`` to ``path`` and (optionally) fsync the file.
+
+    The write-then-rename idiom is atomic for *visibility* but not
+    *durability*: without an fsync before the rename, a host crash can
+    leave the renamed name pointing at bytes that never reached disk.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def fsync_dir(directory: Path) -> None:
+    """Fsync a directory so a completed rename survives a host crash.
+
+    Best-effort: some filesystems refuse directory fsync (EINVAL on
+    certain network mounts) — refusing is their durability statement,
+    not a reason to fail the write.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class SweepCache:
     """Fingerprint-keyed store of cell summaries under one directory."""
 
-    def __init__(self, root: str | Path, sweep_stale: bool = True) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        sweep_stale: bool = True,
+        fsync: bool = True,
+        faults=None,
+    ) -> None:
         self.root = Path(root)
+        #: Durability for :meth:`store`: fsync file + parent directory
+        #: before a summary counts as published (opt out with
+        #: ``fsync=False`` for throwaway caches).
+        self.fsync = fsync
+        #: Optional :class:`~repro.sweep.distrib.faults.FaultPlan`;
+        #: :meth:`store` fires the ``cache.store`` site through it.
+        self.faults = faults
         self.root.mkdir(parents=True, exist_ok=True)
         if sweep_stale:
             self._sweep_stale_tmp()
@@ -108,13 +154,22 @@ class SweepCache:
             "scenario": scenario.to_dict(),
             "summary": summary,
         }
+        if self.faults is not None:
+            from repro.sweep.distrib import faults as faults_mod
+
+            # An injected ENOSPC/EIO here rehearses a full disk at the
+            # worst moment: the cell simulated fine, the summary can't
+            # land.  The worker's retry budget must absorb it.
+            faults_mod.perform(self.faults, "cache.store", scenario.fingerprint())
         # Worker processes (and concurrent sweeps sharing one cache
         # directory) may store simultaneously; a per-process temp name
         # keeps every write-then-rename private until the atomic swap.
         tmp = path.with_suffix(f".json.tmp{os.getpid()}")
         try:
-            tmp.write_text(canonical_json(payload))
+            fsync_write_text(tmp, canonical_json(payload), fsync=self.fsync)
             os.replace(tmp, path)
+            if self.fsync:
+                fsync_dir(path.parent)
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise

@@ -28,7 +28,14 @@ from typing import Iterable, Optional, Union
 
 from repro.sweep.banks import BankCache
 from repro.sweep.cache import SweepCache
+from repro.sweep.distrib.faults import FaultPlan
 from repro.sweep.distrib.queue import DEFAULT_LEASE_TTL, TaskQueue
+from repro.sweep.distrib.retry import (
+    DEFAULT_BACKOFF_BASE,
+    DEFAULT_BACKOFF_CAP,
+    DEFAULT_MAX_ATTEMPTS,
+)
+from repro.sweep.distrib.supervisor import WorkerSupervisor
 from repro.sweep.runner import (
     CellResult,
     SweepCellError,
@@ -52,6 +59,7 @@ def spawn_local_worker(
     queue_root: Path,
     poll_interval: float = 0.2,
     stdout=subprocess.DEVNULL,
+    fault_plan: Union[str, Path, None] = None,
 ) -> subprocess.Popen:
     """Start one independent ``repro sweep-worker`` process.
 
@@ -64,17 +72,20 @@ def spawn_local_worker(
     env = dict(os.environ)
     src_root = str(Path(repro.__file__).resolve().parents[1])
     env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "sweep-worker",
+        "--queue",
+        str(queue_root),
+        "--poll",
+        str(poll_interval),
+    ]
+    if fault_plan is not None:
+        argv += ["--fault-plan", str(fault_plan)]
     return subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro.cli",
-            "sweep-worker",
-            "--queue",
-            str(queue_root),
-            "--poll",
-            str(poll_interval),
-        ],
+        argv,
         env=env,
         stdout=stdout,
         stderr=subprocess.STDOUT,
@@ -95,7 +106,21 @@ class DistributedSweepRunner:
         bank_cache: As for :class:`~repro.sweep.runner.SweepRunner`.
         lease_ttl: Seconds without a heartbeat before a worker's cell
             is re-leased.
-        poll_interval: Coordinator tail/reclaim cadence.
+        poll_interval: Coordinator tail/reclaim cadence (the *floor*:
+            the tail backs off adaptively toward the visibility grace
+            while no records arrive).
+        max_attempts: Per-task retry budget (manifest-recorded, so the
+            whole fleet agrees); a cell failing this many attempts is
+            quarantined into ``queue/failures/``.
+        backoff_base / backoff_cap: Retry backoff schedule, seconds.
+        fail_fast: Abort the tail on the first failed cell instead of
+            draining the surviving grid.
+        fault_plan: A :class:`FaultPlan`, or a path to its JSON, to
+            rehearse outages — threaded through this coordinator's
+            queue handle and every locally-spawned worker.
+        fsync: Durability of queue/cache publishes (manifest-recorded).
+        max_restarts: Per-slot respawn budget for the local fleet's
+            :class:`WorkerSupervisor`.
     """
 
     def __init__(
@@ -107,6 +132,13 @@ class DistributedSweepRunner:
         bank_cache: Union[str, Path, BankCache, None, bool] = None,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         poll_interval: float = 0.2,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        fail_fast: bool = False,
+        fault_plan: Union[str, Path, FaultPlan, None] = None,
+        fsync: bool = True,
+        max_restarts: Optional[int] = None,
     ) -> None:
         if cache is None:
             raise ValueError("distributed sweeps require a result cache")
@@ -114,12 +146,28 @@ class DistributedSweepRunner:
             raise ValueError(f"jobs must be >= 0: {jobs}")
         if lease_ttl <= 0:
             raise ValueError(f"lease-ttl must be positive: {lease_ttl}")
+        if max_attempts < 1:
+            raise ValueError(f"max-attempts must be >= 1: {max_attempts}")
         self.cache, self.bank_cache = resolve_caches(cache, bank_cache)
         self.queue_dir = Path(queue_dir) if queue_dir else self.cache.queue_root
         self.jobs = jobs
         self.resume = resume
         self.lease_ttl = lease_ttl
         self.poll_interval = poll_interval
+        self.max_attempts = int(max_attempts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.fail_fast = fail_fast
+        self.fault_plan = (
+            FaultPlan.load(fault_plan)
+            if isinstance(fault_plan, (str, Path))
+            else fault_plan
+        )
+        self.fsync = fsync
+        self.max_restarts = max_restarts
+        #: Local-fleet respawns performed by the supervisor in the last
+        #: :meth:`run` (0 with ``jobs=0`` or a healthy fleet).
+        self.worker_restarts = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -168,6 +216,13 @@ class DistributedSweepRunner:
         # The manifest is held back until the resume reconcile below is
         # done, so no worker can claim a cell this coordinator is about
         # to complete from the cache (attach blocks on the manifest).
+        if self.fault_plan is not None:
+            # One plan governs the whole fleet: hit counters live in a
+            # shared state dir under the queue (so a rule with times=1
+            # fires once *fleet-wide*, the coordinator's own enqueue
+            # writes and restarted workers included).  Bound *before*
+            # create, because create already fires injection sites.
+            self.fault_plan.bind_state(Path(self.queue_dir) / "fault-state")
         queue = TaskQueue.create(
             self.queue_dir,
             ordered,
@@ -175,7 +230,18 @@ class DistributedSweepRunner:
             banks_path=banks_path,
             lease_ttl=self.lease_ttl,
             publish=False,
+            max_attempts=self.max_attempts,
+            backoff_base=self.backoff_base,
+            backoff_cap=self.backoff_cap,
+            fsync=self.fsync,
+            faults=self.fault_plan,
         )
+        worker_plan_path = None
+        if self.fault_plan is not None:
+            # The plan itself is materialised next to the manifest for
+            # spawned — or manually attached — workers to load.
+            worker_plan_path = queue.root / "fault-plan.json"
+            queue._write_atomic(worker_plan_path, self.fault_plan.to_dict())
         by_name = queue.scenarios_by_name(ordered)
 
         #: name -> completion record for this run (how each cell was
@@ -248,46 +314,56 @@ class DistributedSweepRunner:
 
         queue.publish_manifest()
         failures: list[tuple[Scenario, str]] = []
-        workers: list[subprocess.Popen] = []
+        failure_details: list[Optional[dict]] = []
+        # Local workers log under the queue (rotated per slot by the
+        # supervisor): kept exactly as long as diagnostics can matter —
+        # a failed or interrupted sweep leaves them for post-mortem, a
+        # successful one retires them with the queue.  The spawn
+        # closure resolves ``spawn_local_worker`` at call time so tests
+        # can stub the module global; crashed workers are respawned
+        # with capped, jittered backoff until their slot's budget runs
+        # out.
+        supervisor = WorkerSupervisor(
+            min(self.jobs, len(outstanding)),
+            lambda stdout: spawn_local_worker(
+                queue.root,
+                poll_interval=self.poll_interval,
+                stdout=stdout,
+                fault_plan=worker_plan_path,
+            ),
+            logs_dir=queue.root / "logs",
+            **(
+                {} if self.max_restarts is None
+                else {"max_restarts": self.max_restarts}
+            ),
+        )
         try:
-            # Local workers log under the queue (one file each): kept
-            # exactly as long as diagnostics can matter — a failed or
-            # interrupted sweep leaves them for post-mortem, a
-            # successful one retires them with the queue.
-            local = min(self.jobs, len(outstanding))
-            if local:
-                (queue.root / "logs").mkdir(exist_ok=True)
-            for index in range(local):
-                log = open(queue.root / "logs" / f"worker-{index}.log", "ab")
-                try:
-                    workers.append(
-                        spawn_local_worker(
-                            queue.root,
-                            poll_interval=self.poll_interval,
-                            stdout=log,
-                        )
-                    )
-                finally:
-                    log.close()  # the child holds its own duplicate
+            supervisor.start()
             self._tail(
-                queue, by_name, rank, outstanding, emit, failures, timeout, workers
+                queue,
+                by_name,
+                rank,
+                outstanding,
+                emit,
+                failures,
+                failure_details,
+                timeout,
+                supervisor,
             )
         finally:
-            for worker in workers:
-                if worker.poll() is None:
-                    worker.terminate()
-            for worker in workers:
-                try:
-                    worker.wait(timeout=10)
-                except subprocess.TimeoutExpired:
-                    worker.kill()
-                    worker.wait()
+            supervisor.shutdown()
+            self.worker_restarts = supervisor.restart_count
 
         if failures:
             # The queue survives a failed sweep: its error records and
-            # pending state are what ``--resume`` retries from.
+            # pending state are what ``--resume`` retries from.  The
+            # quarantine ledger's per-cell post-mortems (traceback,
+            # worker ids, attempt history) ride along as ``details``.
             raise SweepCellError(
-                failures, completed=list(done.values()), persisted=True
+                failures,
+                completed=list(done.values()),
+                persisted=True,
+                details=failure_details,
             )
         # A drained queue is coordination state, not results (those are
         # in the cache) — retire it, so a later identical sweep
@@ -299,7 +375,16 @@ class DistributedSweepRunner:
 
     # ------------------------------------------------------------------
     def _tail(
-        self, queue, by_name, rank, outstanding, emit, failures, timeout, workers=()
+        self,
+        queue,
+        by_name,
+        rank,
+        outstanding,
+        emit,
+        failures,
+        failure_details,
+        timeout,
+        supervisor=None,
     ) -> None:
         """Stream done records into ``emit`` until the queue drains."""
         seen = set(by_name) - outstanding  # cache hits already emitted
@@ -311,7 +396,13 @@ class DistributedSweepRunner:
         # grace window before declaring the cell broken.
         summary_grace = max(10.0, 4 * self.poll_interval)
         summary_missing_since: dict[str, float] = {}
+        # Adaptive poll: tight while records arrive, decaying toward
+        # the grace window when idle — a coordinator tailing a slow
+        # remote fleet stops burning a scan per poll_interval, yet
+        # reacts at full speed the moment completions stream again.
+        idle_delay = self.poll_interval
         while outstanding:
+            progressed = False
             for name in queue.done_names():
                 if name in seen or name not in by_name:
                     continue
@@ -327,14 +418,17 @@ class DistributedSweepRunner:
                             continue  # keep outstanding; re-poll
                         seen.add(name)
                         outstanding.discard(name)
+                        progressed = True
                         self.completion_records[name] = record
                         failures.append(
                             (scenario, "completed cell missing from the result cache")
                         )
+                        failure_details.append(queue.failure_entry(name))
                         continue
                     summary_missing_since.pop(name, None)
                     seen.add(name)
                     outstanding.discard(name)
+                    progressed = True
                     self.completion_records[name] = record
                     emit(
                         CellResult(
@@ -349,13 +443,21 @@ class DistributedSweepRunner:
                 else:
                     seen.add(name)
                     outstanding.discard(name)
+                    progressed = True
                     self.completion_records[name] = record
                     failures.append(
                         (scenario, record.get("error") or "worker reported failure")
                     )
+                    failure_details.append(queue.failure_entry(name))
+            if failures and self.fail_fast:
+                # Abort the tail: the queue (leases, pending tasks,
+                # records) survives as-is for post-mortem or --resume.
+                return
             if not outstanding:
                 break
             queue.reclaim_expired()
+            if supervisor is not None:
+                supervisor.tick()
             # Self-heal vanished tasks: an outstanding cell with no
             # task, lease, or done record cannot finish on its own (a
             # worker quarantined its corrupt task file, or someone
@@ -371,23 +473,26 @@ class DistributedSweepRunner:
             )
             for name in outstanding - present:
                 queue.ensure_pending(name, by_name[name], rank[name])
-            # A locally-spawned fleet that has died entirely can never
-            # drain the queue; a worker only exits this early on a
-            # crash (clean exits need the sweep complete or the queue
-            # retired), so hanging silently would hide a real failure.
-            # External fleets (jobs=0, or anyone holding a live lease)
-            # are unaffected — and a cell whose done record landed
-            # after this iteration's scan (`present` sees it) is not
-            # grounds to raise: the next iteration consumes it.
+            # A locally-spawned fleet that has died entirely — every
+            # slot's process exited *and* every slot's restart budget
+            # is spent — can never drain the queue; a worker only exits
+            # this early on a crash (clean exits need the sweep
+            # complete or the queue retired), so hanging silently would
+            # hide a real failure.  External fleets (jobs=0, or anyone
+            # holding a live lease) are unaffected — and a cell whose
+            # done record landed after this iteration's scan (`present`
+            # sees it) is not grounds to raise: the next iteration
+            # consumes it.
             if (
-                workers
-                and all(w.poll() is not None for w in workers)
+                supervisor is not None
+                and supervisor.fleet_dead()
                 and not queue.inflight_names()
                 and outstanding - set(queue.done_names())
             ):
                 raise RuntimeError(
-                    f"all {len(workers)} local sweep-worker process(es) "
-                    f"exited with {len(outstanding)} cell(s) outstanding "
+                    f"local sweep-worker fleet died (restarted "
+                    f"{supervisor.restart_count} time(s), budget spent) with "
+                    f"{len(outstanding)} cell(s) outstanding "
                     f"(queue: {queue.root}); see {queue.root / 'logs'} for "
                     "worker output; external workers can still drain it, "
                     "or rerun to respawn the local fleet"
@@ -397,4 +502,12 @@ class DistributedSweepRunner:
                     f"distributed sweep timed out with {len(outstanding)} cell(s) "
                     f"outstanding (queue: {queue.root})"
                 )
-            time.sleep(self.poll_interval)
+            if progressed:
+                idle_delay = self.poll_interval
+            else:
+                idle_delay = min(summary_grace, idle_delay * 1.5)
+            delay = idle_delay
+            if supervisor is not None and supervisor.pending_restart():
+                # Never let the idle backoff postpone a self-heal.
+                delay = self.poll_interval
+            time.sleep(delay)

@@ -1,0 +1,314 @@
+"""Deterministic fault injection for the distributed sweep stack.
+
+SpotTune's premise is infrastructure that can be revoked at any
+moment; this module makes our own failure modes *rehearsable* instead
+of leaving each one to a bespoke subprocess harness.  A
+:class:`FaultPlan` is a seeded list of rules, each naming an
+**injection site** threaded through the queue/lease/worker/cache code
+and an **action** to perform when the site is hit:
+
+========================  ====================================================
+site                      where it fires
+========================  ====================================================
+``queue.task.write``      a task file is about to be enqueued/rewritten
+``queue.done.write``      a completion record is about to be published
+``queue.claim.publish``   between the claim rename and the lease publish
+``cache.store``           a cell summary is about to be persisted
+``lease.heartbeat``       one heartbeat renewal is about to run
+``worker.cell.execute``   a claimed cell is about to simulate
+``worker.cell.persist``   a computed summary is about to be stored
+========================  ====================================================
+
+========== =================================================================
+action     effect at the site
+========== =================================================================
+``kill``   SIGKILL the current process (kill-worker-mid-cell)
+``raise``  raise :class:`InjectedFault` (an ``OSError``; ``errno_name``
+           picks the errno — ``ENOSPC`` rehearses a full disk)
+``stall``  sleep ``seconds`` (a wedged filesystem op / GC pause)
+``corrupt``truncate the bytes being written (a torn copy on an rsync'd
+           queue); only write sites honour it
+``suppress`` skip the renewal (heartbeat site only) — the lease goes
+           stale while the worker is still alive, rehearsing overthrow
+========== =================================================================
+
+Determinism: a rule fires on its *n*-th eligible hit (``after`` skips,
+``times`` caps), and probabilistic rules (``chance < 1``) roll a hash
+of ``(plan seed, rule index, hit number)`` — never the wall clock — so
+the same plan against the same workload injects the same faults.
+Binding a state directory (:meth:`FaultPlan.bind_state`) makes hit
+counting *fleet-wide* and crash-proof: counters live as
+``O_CREAT|O_EXCL`` sequence files, so a rule with ``times: 1`` fires
+exactly once across every worker process, restarts included.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+#: Every site the distributed stack threads a plan through; plans
+#: naming anything else are refused at load time (a typoed site would
+#: otherwise silently never fire and the rehearsal would test nothing).
+SITES = (
+    "queue.task.write",
+    "queue.done.write",
+    "queue.claim.publish",
+    "cache.store",
+    "lease.heartbeat",
+    "worker.cell.execute",
+    "worker.cell.persist",
+)
+
+ACTIONS = ("kill", "raise", "stall", "corrupt", "suppress")
+
+#: Actions whose effect is performed *by the call site*, not by
+#: :meth:`FaultPlan.perform` itself — the site inspects the returned
+#: action string and applies its own semantics.
+_CALLER_HANDLED = ("corrupt", "suppress")
+
+
+class InjectedFault(OSError):
+    """An OSError raised by a ``raise`` fault rule.
+
+    Deliberately an ``OSError`` subclass: the code under test must
+    survive it through its *ordinary* error handling, never through a
+    special case for injected faults.
+    """
+
+
+@dataclass
+class FaultRule:
+    """One (site, action) injection with its firing window."""
+
+    site: str
+    action: str
+    #: Substring matched against the operation key (usually the task
+    #: name ``<seq>-<fingerprint>``); empty matches everything.
+    match: str = ""
+    #: Fire on at most this many eligible hits.
+    times: int = 1
+    #: Skip the first N eligible hits before firing.
+    after: int = 0
+    #: Probability a counted hit actually fires (seeded, deterministic).
+    chance: float = 1.0
+    #: ``stall`` sleep duration.
+    seconds: float = 0.0
+    #: ``raise`` errno, by name (``ENOSPC``, ``EIO``, ``ESTALE``...).
+    errno_name: str = "ENOSPC"
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; choose from {SITES}"
+            )
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; choose from {ACTIONS}"
+            )
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1: {self.times}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0: {self.after}")
+        if not 0.0 < self.chance <= 1.0:
+            raise ValueError(f"chance must be in (0, 1]: {self.chance}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0: {self.seconds}")
+        if not hasattr(errno, self.errno_name):
+            raise ValueError(f"unknown errno name {self.errno_name!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "action": self.action,
+            "match": self.match,
+            "times": self.times,
+            "after": self.after,
+            "chance": self.chance,
+            "seconds": self.seconds,
+            "errno": self.errno_name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultRule":
+        if not isinstance(payload, dict):
+            raise ValueError(f"fault rule must be an object: {payload!r}")
+        known = {
+            "site", "action", "match", "times", "after", "chance",
+            "seconds", "errno",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown fault rule keys: {sorted(unknown)}")
+        return cls(
+            site=payload.get("site", ""),
+            action=payload.get("action", ""),
+            match=str(payload.get("match", "")),
+            times=int(payload.get("times", 1)),
+            after=int(payload.get("after", 0)),
+            chance=float(payload.get("chance", 1.0)),
+            seconds=float(payload.get("seconds", 0.0)),
+            errno_name=str(payload.get("errno", "ENOSPC")),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, replayable set of fault rules.
+
+    Hit counters default to per-process memory; :meth:`bind_state`
+    moves them to a shared directory so one plan file governs a whole
+    fleet (restarted workers included) without re-firing one-shot
+    rules in every new process.
+    """
+
+    rules: list = field(default_factory=list)
+    seed: int = 0
+    state_dir: Optional[Path] = None
+    _local_hits: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self.rules = [
+            rule if isinstance(rule, FaultRule) else FaultRule.from_dict(rule)
+            for rule in self.rules
+        ]
+        self._local_hits = [0] * len(self.rules)
+        if self.state_dir is not None:
+            self.bind_state(self.state_dir)
+
+    # ------------------------------------------------------------------
+    # Construction / serialisation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ValueError(f"fault plan must be an object: {payload!r}")
+        unknown = set(payload) - {"seed", "rules"}
+        if unknown:
+            raise ValueError(f"unknown fault plan keys: {sorted(unknown)}")
+        rules = payload.get("rules", [])
+        if not isinstance(rules, list):
+            raise ValueError("fault plan 'rules' must be a list")
+        return cls(rules=rules, seed=int(payload.get("seed", 0)))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ValueError(f"cannot read fault plan {path!r}: {error}")
+        return cls.from_dict(payload)
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "rules": [r.to_dict() for r in self.rules]}
+
+    def bind_state(self, directory: Union[str, Path]) -> "FaultPlan":
+        """Count hits in ``directory`` (fleet-wide, crash-proof)."""
+        self.state_dir = Path(directory)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        return self
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+    def _next_hit(self, index: int) -> int:
+        """Claim the next hit number for rule ``index`` (1-based).
+
+        With a state directory, the claim is an ``O_CREAT|O_EXCL``
+        sequence-file create — atomic across processes, so concurrent
+        workers each observe distinct hit numbers and a ``times: 1``
+        rule fires exactly once in the whole fleet.
+        """
+        if self.state_dir is None:
+            self._local_hits[index] += 1
+            return self._local_hits[index]
+        hit = self._local_hits[index] + 1
+        while True:
+            try:
+                fd = os.open(
+                    self.state_dir / f"rule{index}.hit{hit}",
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+                os.close(fd)
+            except FileExistsError:
+                hit += 1
+                continue
+            except OSError:
+                # The state directory vanished (queue retired mid-op):
+                # fall back to the local counter rather than crash.
+                self._local_hits[index] += 1
+                return self._local_hits[index]
+            self._local_hits[index] = hit
+            return hit
+
+    def _rolls(self, index: int, hit: int) -> bool:
+        digest = hashlib.sha256(
+            f"{self.seed}:{index}:{hit}".encode()
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2.0**64
+        return fraction < self.rules[index].chance
+
+    def fire(self, site: str, key: str = "") -> Optional[FaultRule]:
+        """The rule (if any) that fires for this hit of ``site``.
+
+        At most one rule fires per call: the first eligible rule in
+        plan order wins, so plans read top-down like a script.
+        """
+        for index, rule in enumerate(self.rules):
+            if rule.site != site:
+                continue
+            if rule.match and rule.match not in key:
+                continue
+            hit = self._next_hit(index)
+            if hit <= rule.after or hit > rule.after + rule.times:
+                continue
+            if not self._rolls(index, hit):
+                continue
+            return rule
+        return None
+
+    def perform(self, site: str, key: str = "") -> Optional[str]:
+        """Fire ``site`` and carry out the winning rule's action.
+
+        ``kill``/``raise``/``stall`` are executed here; ``corrupt`` and
+        ``suppress`` are returned for the call site to apply (their
+        semantics depend on what the site is doing).  Returns the
+        action name that fired, or ``None``.
+        """
+        rule = self.fire(site, key)
+        if rule is None:
+            return None
+        if rule.action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if rule.action == "raise":
+            code = getattr(errno, rule.errno_name)
+            raise InjectedFault(
+                code, f"injected {rule.errno_name} at {site} ({key or 'no key'})"
+            )
+        if rule.action == "stall":
+            time.sleep(rule.seconds)
+        return rule.action
+
+
+def perform(
+    plan: Optional[FaultPlan], site: str, key: str = ""
+) -> Optional[str]:
+    """Null-safe injection helper: the hot paths call this with
+    ``plan=None`` in production, which must cost one comparison."""
+    if plan is None:
+        return None
+    return plan.perform(site, key)
+
+
+def corrupt_bytes(text: str) -> str:
+    """What a ``corrupt`` rule writes instead of the real payload: the
+    front half of the serialised bytes — exactly the shape of a torn
+    ``rsync`` copy or a crash mid-write on a non-atomic filesystem."""
+    return text[: max(1, len(text) // 2)]

@@ -16,8 +16,10 @@ from __future__ import annotations
 import json
 import os
 import threading
-from typing import TYPE_CHECKING
+import time
+from typing import TYPE_CHECKING, Optional
 
+from repro.sweep.distrib import faults as faults_mod
 from repro.sweep.scenario import Scenario
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -82,6 +84,41 @@ class Lease:
         """Write the done record and drop the lease."""
         self.queue.mark_done(self.name, record)
 
+    def retry(
+        self, error: str, traceback_text: Optional[str], delay: float
+    ) -> None:
+        """Hand the task back for another attempt, with backoff.
+
+        The re-queued task file carries the whole retry state: the
+        attempt counter (already incremented by the claim), a
+        ``not_before`` stamp deferring the next claim, and a
+        ``history`` entry recording what this attempt did — so the
+        eventual quarantine ledger names every worker that tried, even
+        across machines.  Task-write-then-lease-unlink ordering makes a
+        crash in between recoverable: :meth:`TaskQueue.reclaim_expired`
+        sees task *and* lease, and drops the stale lease rather than
+        renaming it over the retry state.
+        """
+        payload = dict(self.payload)
+        payload.pop("owner", None)
+        history = list(payload.get("history", []))
+        history.append(
+            {
+                "attempt": self.attempt,
+                "worker": self.owner,
+                "error": error,
+                "traceback": traceback_text,
+                "time": time.time(),
+            }
+        )
+        payload["history"] = history
+        payload["not_before"] = time.time() + max(0.0, delay)
+        self.queue._write_atomic(self.queue.tasks_dir / self.name, payload)
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass  # reclaim clears the stale duplicate after one TTL
+
 
 class Heartbeat:
     """Background renewal thread for the duration of one cell.
@@ -109,6 +146,14 @@ class Heartbeat:
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval):
+            # A "suppress" rule skips this one renewal — enough missed
+            # beats and the lease goes stale while the worker is still
+            # alive, rehearsing the overthrow path end to end.
+            action = faults_mod.perform(
+                self.lease.queue.faults, "lease.heartbeat", self.lease.name
+            )
+            if action == "suppress":
+                continue
             if not self.lease.renew():
                 self._lost.set()
                 return

@@ -44,12 +44,23 @@ import time
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+from repro.sweep.cache import fsync_dir, fsync_write_text
+from repro.sweep.distrib import faults as faults_mod
+from repro.sweep.distrib.faults import FaultPlan
 from repro.sweep.distrib.lease import Lease
+from repro.sweep.distrib.retry import (
+    DEFAULT_BACKOFF_BASE,
+    DEFAULT_BACKOFF_CAP,
+    DEFAULT_MAX_ATTEMPTS,
+    FAILURES_SUBDIR,
+)
 from repro.sweep.scenario import SCHEMA_VERSION, Scenario
 
 #: Bump when the queue layout or manifest shape changes; workers refuse
 #: to attach to a queue from another schema rather than guess.
-QUEUE_SCHEMA_VERSION = 1
+#: v2: failure policy in the manifest (max_attempts, backoff, fsync),
+#: per-task retry state (not_before, history), failures/ ledger.
+QUEUE_SCHEMA_VERSION = 2
 
 #: Default lease TTL: a worker that misses heartbeats for this long is
 #: presumed dead and its cell is re-leased.  Heartbeats renew every
@@ -87,14 +98,37 @@ class TaskQueue:
     the manifest) or :meth:`attach` (worker, waits for it).
     """
 
-    def __init__(self, root: str | Path, lease_ttl: float = DEFAULT_LEASE_TTL) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        fsync: bool = True,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be positive: {lease_ttl}")
         self.root = Path(root)
         self.lease_ttl = float(lease_ttl)
+        #: Durability: published files (tasks, done records, manifest)
+        #: are fsync'd — file and parent directory — before they count
+        #: as written, so a host crash can never surface a
+        #: published-but-empty record.  Opt out for throwaway queues.
+        self.fsync = fsync
+        #: Fault-injection plan (``None`` in production): write and
+        #: claim paths fire their sites through it.
+        self.faults = faults
+        #: Fleet-wide failure policy; :meth:`attach`/:meth:`create`
+        #: overwrite these from the manifest so every handle agrees.
+        self.max_attempts = DEFAULT_MAX_ATTEMPTS
+        self.backoff_base = DEFAULT_BACKOFF_BASE
+        self.backoff_cap = DEFAULT_BACKOFF_CAP
         self.tasks_dir = self.root / "tasks"
         self.leases_dir = self.root / "leases"
         self.done_dir = self.root / "done"
+        #: Poison-cell ledger: one crash-safe JSON entry per task that
+        #: exhausted its retry budget (error, traceback, worker ids,
+        #: attempt history).  Survives a failed sweep for post-mortem.
+        self.failures_dir = self.root / FAILURES_SUBDIR
         #: Where unparseable task files land for post-mortem (see
         #: :meth:`_claim_one`); the coordinator rewrites the task.
         self.quarantine_dir = self.root / "quarantine"
@@ -113,6 +147,11 @@ class TaskQueue:
         banks_path: Optional[str] = None,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         publish: bool = True,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        fsync: bool = True,
+        faults: Optional[FaultPlan] = None,
     ) -> "TaskQueue":
         """Enqueue ``ordered`` cells (already in dispatch order).
 
@@ -130,7 +169,12 @@ class TaskQueue:
         surviving tasks/leases/done records simply carry on.  Anything
         else is a refusal, not a silent overwrite.
         """
-        queue = cls(root, lease_ttl=lease_ttl)
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {max_attempts}")
+        queue = cls(root, lease_ttl=lease_ttl, fsync=fsync, faults=faults)
+        queue.max_attempts = int(max_attempts)
+        queue.backoff_base = float(backoff_base)
+        queue.backoff_cap = float(backoff_cap)
         names = [task_name(seq, s) for seq, s in enumerate(ordered)]
         manifest = {
             "schema": QUEUE_SCHEMA_VERSION,
@@ -139,6 +183,10 @@ class TaskQueue:
             "cache": cache_path,
             "banks": banks_path,
             "lease_ttl": queue.lease_ttl,
+            "max_attempts": queue.max_attempts,
+            "backoff_base": queue.backoff_base,
+            "backoff_cap": queue.backoff_cap,
+            "fsync": queue.fsync,
         }
         published = queue.load_manifest()
         staged = queue._load_staged() if published is None else None
@@ -167,9 +215,7 @@ class TaskQueue:
                             "elsewhere"
                         )
                 queue._manifest = published
-                queue.lease_ttl = float(
-                    published.get("lease_ttl", queue.lease_ttl)
-                )
+                queue._adopt_policy(published)
             else:
                 # Never published (the creator died between staging
                 # and publishing — possibly mid-enqueue, since the
@@ -187,7 +233,13 @@ class TaskQueue:
             if publish:
                 queue.publish_manifest()
             return queue
-        if queue.root.exists() and any(queue.root.iterdir()):
+        if queue.root.exists() and any(
+            # Fault-injection scaffolding is bound before create (its
+            # hit counters must cover the enqueue writes) and does not
+            # make the directory someone else's sweep.
+            entry.name not in ("fault-state", "fault-plan.json")
+            for entry in queue.root.iterdir()
+        ):
             raise QueueError(
                 f"queue directory {queue.root} is non-empty but has no manifest"
             )
@@ -244,6 +296,16 @@ class TaskQueue:
         except (OSError, json.JSONDecodeError):
             return None
 
+    def _adopt_policy(self, manifest: dict) -> None:
+        """Take the fleet-wide knobs from a manifest: every handle —
+        creator, restarted coordinator, worker — must reclaim, retry,
+        and back off on the same timescale or the fleet fights itself."""
+        self.lease_ttl = float(manifest.get("lease_ttl", self.lease_ttl))
+        self.max_attempts = int(manifest.get("max_attempts", DEFAULT_MAX_ATTEMPTS))
+        self.backoff_base = float(manifest.get("backoff_base", DEFAULT_BACKOFF_BASE))
+        self.backoff_cap = float(manifest.get("backoff_cap", DEFAULT_BACKOFF_CAP))
+        self.fsync = bool(manifest.get("fsync", True))
+
     @classmethod
     def attach(
         cls, root: str | Path, wait_seconds: float = 0.0, poll: float = 0.2
@@ -268,7 +330,7 @@ class TaskQueue:
                 f"queue cells were enqueued under scenario schema "
                 f"{manifest.get('cell_schema')!r}, this worker runs {SCHEMA_VERSION}"
             )
-        queue.lease_ttl = float(manifest.get("lease_ttl", DEFAULT_LEASE_TTL))
+        queue._adopt_policy(manifest)
         queue._manifest = manifest
         return queue
 
@@ -362,17 +424,39 @@ class TaskQueue:
     # Claim / re-lease
     # ------------------------------------------------------------------
     def claim(self, owner: str) -> Optional[Lease]:
-        """Claim the lowest-ranked pending task, or ``None``.
+        """Claim the lowest-ranked *eligible* pending task, or ``None``.
 
-        Losing a rename race to a sibling worker just moves on to the
-        next candidate; ``None`` means the tasks directory is drained
-        (though leased cells may yet return via :meth:`reclaim_expired`).
+        A task re-queued by a failed attempt carries a ``not_before``
+        backoff stamp; until it passes, the task is deferred — visible
+        in :meth:`pending_names` but not claimable, so a poison cell
+        backs off instead of hammering the fleet.  Losing a rename race
+        to a sibling worker just moves on to the next candidate;
+        ``None`` means nothing is claimable right now (leased cells may
+        yet return via :meth:`reclaim_expired`, deferred ones when
+        their backoff passes).
         """
+        now = time.time()
         for name in self.pending_names():
+            if self._deferred(name, now):
+                continue
             lease = self._claim_one(name, owner)
             if lease is not None:
                 return lease
         return None
+
+    def _deferred(self, name: str, now: float) -> bool:
+        """Whether ``name`` is still inside its retry backoff window.
+
+        Advisory (the file may be claimed or rewritten mid-read):
+        a read failure counts as claimable, and the worst a stale read
+        costs is one slightly-early retry — the attempt *budget* is
+        enforced by the claim counter, never by this timing.
+        """
+        try:
+            payload = json.loads((self.tasks_dir / name).read_text())
+            return float(payload.get("not_before", 0.0)) > now
+        except (OSError, ValueError, TypeError, AttributeError):
+            return False
 
     def _claim_one(self, name: str, owner: str) -> Optional[Lease]:
         private = self.leases_dir / f"{name}{_CLAIM_MARKER}{owner}"
@@ -392,6 +476,10 @@ class TaskQueue:
             payload["owner"] = owner
             payload["attempt"] = int(payload.get("attempt", 0)) + 1
             private.write_text(json.dumps(payload, sort_keys=True))
+            # A kill injected here rehearses the worker dying between
+            # the claim rename and the publish — the claim-temp window
+            # that reclaim_expired must requeue.
+            faults_mod.perform(self.faults, "queue.claim.publish", name)
             # Publish: the lease file now exists with a fresh mtime and
             # a stamped owner, so expiry scans measure from *this*
             # moment, not from enqueue time.
@@ -453,6 +541,15 @@ class TaskQueue:
             if (self.done_dir / name).exists():
                 self._unlink_quiet(entry.path)
                 continue
+            if (self.tasks_dir / name).exists():
+                # A worker crashed between a retry's task re-write and
+                # its lease unlink: the task (with its backoff stamp
+                # and attempt history) is the truth, the lease is a
+                # stale duplicate — renaming it over the task would
+                # erase the retry state.
+                if self._age_of(entry, now) > self.lease_ttl:
+                    self._unlink_quiet(entry.path)
+                continue
             if self._age_of(entry, now) > self.lease_ttl:
                 if self._rename_quiet(entry.path, self.tasks_dir / name):
                     requeued.append(name)
@@ -492,8 +589,23 @@ class TaskQueue:
         recoverable: the stale lease is garbage (cleared by the next
         reclaim scan), never a reason to re-run the cell.
         """
+        faults_mod.perform(self.faults, "queue.done.write", name)
         self._write_atomic(self.done_dir / name, record)
         self._unlink_quiet(self.leases_dir / name)
+
+    def record_failure(self, name: str, entry: dict) -> None:
+        """Ledger a poison cell (crash-safe, atomic, fsync'd)."""
+        self.failures_dir.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(self.failures_dir / name, entry)
+
+    def failure_entry(self, name: str) -> Optional[dict]:
+        try:
+            return json.loads((self.failures_dir / name).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def failure_names(self) -> list[str]:
+        return self._names_in(self.failures_dir)
 
     def done_record(self, name: str) -> Optional[dict]:
         try:
@@ -546,6 +658,10 @@ class TaskQueue:
         if (self.tasks_dir / name).exists() or (self.leases_dir / name).exists():
             return
         self._unlink_quiet(self.done_dir / name)
+        # Back in play means the quarantine verdict no longer stands:
+        # drop the ledger entry so the failure report reflects *this*
+        # run, not a predecessor the operator already acted on.
+        self._unlink_quiet(self.failures_dir / name)
         self._write_atomic(
             self.tasks_dir / name,
             {
@@ -581,10 +697,25 @@ class TaskQueue:
                     continue
 
     def _write_atomic(self, path: Path, payload: dict) -> None:
+        """Write-temp → (fsync) → rename → (fsync dir).
+
+        The rename alone orders the *visibility* of the file but not
+        its *durability*: without the fsyncs a host crash can leave a
+        published name whose bytes never hit the platter — a
+        published-but-empty task or record.  ``self.fsync=False`` opts
+        out for throwaway queues (tests, tmpfs).
+        """
+        text = json.dumps(payload, sort_keys=True)
+        if path.parent == self.tasks_dir:
+            site_action = faults_mod.perform(self.faults, "queue.task.write", path.name)
+            if site_action == "corrupt":
+                text = faults_mod.corrupt_bytes(text)
         tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
         try:
-            tmp.write_text(json.dumps(payload, sort_keys=True))
+            fsync_write_text(tmp, text, fsync=self.fsync)
             os.replace(tmp, path)
+            if self.fsync:
+                fsync_dir(path.parent)
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise

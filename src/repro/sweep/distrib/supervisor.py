@@ -1,0 +1,199 @@
+"""Self-healing local worker fleets for ``--jobs N`` sweeps.
+
+A local worker is a real subprocess, so it dies like a real machine:
+OOM-killed, SIGKILLed by an operator, crashed by a bug — and before
+this module, one transient death shrank the fleet for the rest of the
+sweep (and a total die-off killed it).  The supervisor owns a fixed
+set of *slots*; each slot runs one worker process, and a slot whose
+process exits while the sweep still needs it is respawned with capped,
+jittered backoff (via :func:`~repro.sweep.distrib.retry.backoff_delay`,
+so a crash-looping fleet backs off deterministically instead of
+fork-bombing the host).  A slot that exhausts its restart budget stays
+down — at that point the crash is the sweep's problem (the coordinator
+raises its dead-fleet error once every slot is exhausted and nothing
+is in flight), not something another restart will fix.
+
+Each slot logs to ``logs/worker-<slot>.log`` (append, so restarts of
+the same slot share one file); at respawn, a log past
+:data:`MAX_LOG_BYTES` is rotated to ``.1`` (one generation — these are
+post-mortem diagnostics, not an archive), which caps log growth no
+matter how long a crash loop runs before its budget runs out.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.sweep.distrib.retry import backoff_delay
+
+#: Restarts per slot before the supervisor gives up on it.
+DEFAULT_MAX_RESTARTS = 5
+
+#: Restart backoff: first respawn after ~0.5-1s, doubling to the cap.
+RESTART_BACKOFF_BASE = 1.0
+RESTART_BACKOFF_CAP = 15.0
+
+#: Rotate a slot's log at respawn once it exceeds this many bytes.
+MAX_LOG_BYTES = 1 << 20
+
+
+class _Slot:
+    """One worker position: its process, log, and restart history."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.restarts = 0
+        #: Monotonic time before which this slot must not respawn.
+        self.not_before = 0.0
+        self.exhausted = False
+
+
+class WorkerSupervisor:
+    """Keeps ``slots`` local workers alive until shutdown.
+
+    Args:
+        slots: Fleet size (one worker process per slot).
+        spawn: ``spawn(stdout=<file>) -> Popen`` — the supervisor owns
+            *when* to (re)start and *where* the log goes; the caller
+            owns how a worker is launched (so tests can stub it and the
+            coordinator can thread queue paths and fault plans through).
+        logs_dir: Directory for per-slot log files.
+        max_restarts: Per-slot restart budget.
+    """
+
+    def __init__(
+        self,
+        slots: int,
+        spawn: Callable[..., subprocess.Popen],
+        logs_dir: Path,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+    ) -> None:
+        if slots < 0:
+            raise ValueError(f"slots must be >= 0: {slots}")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0: {max_restarts}")
+        self._spawn = spawn
+        self.logs_dir = Path(logs_dir)
+        self.max_restarts = max_restarts
+        self._slots = [_Slot(index) for index in range(slots)]
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    @property
+    def restart_count(self) -> int:
+        """Total respawns across the fleet (surfaced in sweep stats)."""
+        return sum(slot.restarts for slot in self._slots)
+
+    def processes(self) -> list:
+        """Every live-or-dead process handle the supervisor has spawned."""
+        return [slot.process for slot in self._slots if slot.process is not None]
+
+    def fleet_dead(self) -> bool:
+        """No worker is running *and* none will be restarted.
+
+        This is the coordinator's dead-fleet trigger: while any slot
+        still has budget (its respawn may simply be waiting out its
+        backoff), the fleet is down but not dead.
+        """
+        if not self._slots:
+            return False
+        return all(
+            slot.process is not None
+            and slot.process.poll() is not None
+            and slot.exhausted
+            for slot in self._slots
+        )
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if not self._slots:
+            return  # jobs=0: coordinate-only, external workers drain
+        self.logs_dir.mkdir(parents=True, exist_ok=True)
+        for slot in self._slots:
+            self._launch(slot)
+
+    def pending_restart(self) -> bool:
+        """Whether any slot is down but still has respawn budget — the
+        coordinator keeps its poll cadence tight while this holds, so
+        a respawn is never delayed by the idle tail backoff."""
+        return any(
+            not slot.exhausted
+            and slot.process is not None
+            and slot.process.poll() is not None
+            for slot in self._slots
+        )
+
+    def tick(self, now: Optional[float] = None) -> int:
+        """Respawn dead slots whose backoff has passed; returns the
+        number of restarts performed.  Called from the coordinator's
+        tail loop, so the restart cadence is the poll cadence."""
+        if self._shutdown:
+            return 0
+        now = time.monotonic() if now is None else now
+        restarted = 0
+        for slot in self._slots:
+            if slot.exhausted or slot.process is None:
+                continue
+            if slot.process.poll() is None:
+                continue
+            if slot.not_before == 0.0:
+                # Just noticed the death: schedule the respawn.
+                if slot.restarts >= self.max_restarts:
+                    slot.exhausted = True
+                    continue
+                slot.not_before = now + backoff_delay(
+                    slot.restarts + 1,
+                    base=RESTART_BACKOFF_BASE,
+                    cap=RESTART_BACKOFF_CAP,
+                    key=f"supervisor-slot-{slot.index}",
+                )
+                continue
+            if now < slot.not_before:
+                continue
+            slot.restarts += 1
+            slot.not_before = 0.0
+            self._rotate_log(slot)
+            self._launch(slot)
+            restarted += 1
+        return restarted
+
+    def shutdown(self) -> None:
+        """Terminate every live worker (the sweep is over either way)."""
+        self._shutdown = True
+        live = [
+            slot.process
+            for slot in self._slots
+            if slot.process is not None and slot.process.poll() is None
+        ]
+        for process in live:
+            process.terminate()
+        for process in live:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+
+    # ------------------------------------------------------------------
+    def _log_path(self, slot: _Slot) -> Path:
+        return self.logs_dir / f"worker-{slot.index}.log"
+
+    def _rotate_log(self, slot: _Slot) -> None:
+        path = self._log_path(slot)
+        try:
+            if path.stat().st_size > MAX_LOG_BYTES:
+                os.replace(path, path.with_suffix(".log.1"))
+        except OSError:
+            pass  # no log yet, or the filesystem is misbehaving
+
+    def _launch(self, slot: _Slot) -> None:
+        log = open(self._log_path(slot), "ab")
+        try:
+            slot.process = self._spawn(stdout=log)
+        finally:
+            log.close()  # the child holds its own duplicate

@@ -21,6 +21,7 @@ from __future__ import annotations
 import os
 import re
 import socket
+import traceback as traceback_mod
 import uuid
 import time
 from typing import Callable, Optional
@@ -28,8 +29,11 @@ from typing import Callable, Optional
 from repro.sweep import banks as banks_mod
 from repro.sweep.banks import BankCache
 from repro.sweep.cache import SweepCache
+from repro.sweep.distrib import faults as faults_mod
+from repro.sweep.distrib.faults import FaultPlan
 from repro.sweep.distrib.lease import Heartbeat, Lease
 from repro.sweep.distrib.queue import TaskQueue
+from repro.sweep.distrib.retry import backoff_delay, build_ledger_entry
 
 
 #: Worker ids become part of lease filenames, so they must be plain
@@ -59,6 +63,13 @@ class SweepWorker:
         on_claim: ``on_claim(lease)`` called the moment a cell is
             claimed, *before* execution — the observable the
             kill-mid-cell tests synchronise on.
+        on_retry: ``on_retry(lease, error, delay)`` called when a
+            failed attempt is re-queued with backoff.
+        faults: Optional :class:`FaultPlan`; threaded through the
+            queue, the cache, and the heartbeat so every injection
+            site this worker touches fires through one plan.
+        max_attempts: Override the queue manifest's retry budget
+            (testing knob; the fleet normally agrees via the manifest).
     """
 
     def __init__(
@@ -69,8 +80,14 @@ class SweepWorker:
         max_cells: Optional[int] = None,
         on_cell: Optional[Callable] = None,
         on_claim: Optional[Callable] = None,
+        on_retry: Optional[Callable] = None,
+        faults: Optional[FaultPlan] = None,
+        max_attempts: Optional[int] = None,
     ) -> None:
         self.queue = queue
+        if faults is not None:
+            queue.faults = faults
+        self.faults = queue.faults
         self.worker_id = worker_id or default_worker_id()
         if not _WORKER_ID_RE.fullmatch(self.worker_id) or (
             # These substrings are the queue's own markers: an id
@@ -88,15 +105,24 @@ class SweepWorker:
         self.max_cells = max_cells
         self.on_cell = on_cell
         self.on_claim = on_claim
+        self.on_retry = on_retry
+        self.max_attempts = (
+            int(max_attempts) if max_attempts is not None else queue.max_attempts
+        )
         self.executed = 0
         self.failed = 0
+        self.retried = 0
         manifest = queue.manifest
         cache_root = queue.resolve(manifest.get("cache"))
         banks_root = queue.resolve(manifest.get("banks"))
         if cache_root is None:
             raise ValueError("queue manifest records no result cache")
-        # The coordinator's SweepCache already swept stale temps.
-        self.cache = SweepCache(cache_root, sweep_stale=False)
+        # The coordinator's SweepCache already swept stale temps.  The
+        # manifest's fsync policy and this worker's fault plan apply to
+        # summary stores exactly as they do to queue writes.
+        self.cache = SweepCache(
+            cache_root, sweep_stale=False, fsync=queue.fsync, faults=self.faults
+        )
         self.bank_cache = BankCache(banks_root) if banks_root is not None else None
 
     # ------------------------------------------------------------------
@@ -132,7 +158,7 @@ class SweepWorker:
         if self.on_claim is not None:
             self.on_claim(lease)
         scenario = lease.scenario
-        summary = error = None
+        summary = error = traceback_text = None
         from_cache = False
         if lease.attempt > 1:
             # A re-leased cell may already be persisted (its previous
@@ -141,6 +167,19 @@ class SweepWorker:
             # exactly-once even at the store/done boundary.
             summary = self.cache.load(scenario)
             from_cache = summary is not None
+        if summary is None and lease.attempt > self.max_attempts:
+            # Crash-poison: the budget was consumed entirely by claims
+            # whose workers died mid-cell (a raise-poison quarantines
+            # below, *at* the budget).  Executing again would just feed
+            # the crash loop another process.
+            self.failed += 1
+            self._quarantine(
+                lease,
+                "attempt budget exhausted: every attempt crashed mid-cell",
+                None,
+                trained=0,
+            )
+            return
         trained_before = banks_mod.train_count()
         if summary is None:
             # The heartbeat thread renews the lease every TTL/4 for as
@@ -148,9 +187,13 @@ class SweepWorker:
             # mistaken for a dead worker's.
             with Heartbeat(lease) as heartbeat:
                 try:
+                    faults_mod.perform(
+                        self.faults, "worker.cell.execute", lease.name
+                    )
                     summary = run_scenario(scenario, bank_cache=self.bank_cache)
                 except Exception as exc:  # noqa: BLE001 — isolate sibling cells
                     error = f"{type(exc).__name__}: {exc}"
+                    traceback_text = traceback_mod.format_exc()
             if heartbeat.lost:
                 # Overthrown: the whole process stalled past the TTL
                 # (heartbeat thread included — e.g. a laptop suspend)
@@ -162,13 +205,28 @@ class SweepWorker:
         if not lease.renew():
             return  # overthrown between the last beat and now
         if error is None and not from_cache:
-            self.cache.store(scenario, summary)
-        self.executed += 1
+            try:
+                faults_mod.perform(self.faults, "worker.cell.persist", lease.name)
+                self.cache.store(scenario, summary)
+            except OSError as exc:
+                # A full disk (real or injected ENOSPC) at the store is
+                # a failed attempt like any other: the retry budget
+                # absorbs the transient case, quarantine catches the
+                # persistent one.
+                error = f"{type(exc).__name__}: {exc}"
+                traceback_text = traceback_mod.format_exc()
         if error is not None:
+            self.executed += 1
             self.failed += 1
+            if lease.attempt < self.max_attempts:
+                self._retry(lease, error, traceback_text)
+            else:
+                self._quarantine(lease, error, traceback_text, trained=trained)
+            return
+        self.executed += 1
         record = {
-            "ok": error is None,
-            "error": error,
+            "ok": True,
+            "error": None,
             "fingerprint": scenario.fingerprint(),
             "worker": self.worker_id,
             "attempt": lease.attempt,
@@ -181,6 +239,59 @@ class SweepWorker:
             # The queue vanished mid-completion (the coordinator
             # assembled the result and retired it): the summary is in
             # the cache, nothing is lost, nobody needs the record.
+            return
+        if self.on_cell is not None:
+            self.on_cell(lease, record)
+
+    def _retry(self, lease: Lease, error: str, traceback_text) -> None:
+        """Re-queue a failed attempt with deterministic backoff."""
+        delay = backoff_delay(
+            lease.attempt,
+            base=self.queue.backoff_base,
+            cap=self.queue.backoff_cap,
+            key=lease.name,
+        )
+        try:
+            lease.retry(error, traceback_text, delay)
+        except OSError:
+            return  # queue retired mid-retry; nothing left to requeue
+        self.retried += 1
+        if self.on_retry is not None:
+            self.on_retry(lease, error, delay)
+
+    def _quarantine(
+        self, lease: Lease, error: str, traceback_text, *, trained: int
+    ) -> None:
+        """Budget exhausted: ledger the poison cell, then mark it done
+        (``ok=False``) so the sweep terminates instead of re-leasing
+        the cell forever.  Ledger-then-done ordering means any done
+        record marked ``quarantined`` has its post-mortem on disk."""
+        entry = build_ledger_entry(
+            lease.name,
+            lease.payload,
+            worker=self.worker_id,
+            attempt=lease.attempt,
+            error=error,
+            traceback_text=traceback_text,
+        )
+        try:
+            self.queue.record_failure(lease.name, entry)
+        except OSError:
+            pass  # a full disk must not keep the cell re-leasing forever
+        record = {
+            "ok": False,
+            "error": error,
+            "quarantined": True,
+            "traceback": traceback_text,
+            "fingerprint": lease.scenario.fingerprint(),
+            "worker": self.worker_id,
+            "attempt": lease.attempt,
+            "bank_trainings": trained,
+            "from_cache": False,
+        }
+        try:
+            lease.complete(record)
+        except OSError:
             return
         if self.on_cell is not None:
             self.on_cell(lease, record)

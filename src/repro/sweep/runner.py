@@ -302,6 +302,10 @@ class SweepCellError(RuntimeError):
     ``completed`` the sibling :class:`CellResult` s that did finish —
     with a cache they are also on disk, so ``--resume`` re-runs exactly
     the failed cells; without one they are reachable only here.
+
+    Distributed sweeps also attach ``details``: one quarantine-ledger
+    entry (or ``None``) per failure, aligned with ``failures``,
+    carrying the per-cell traceback, worker ids, and attempt history.
     """
 
     def __init__(
@@ -309,10 +313,12 @@ class SweepCellError(RuntimeError):
         failures: list[tuple[Scenario, str]],
         completed: list[CellResult] = (),
         persisted: bool = False,
+        details: list = (),
     ) -> None:
         self.failures = list(failures)
         self.completed = list(completed)
         self.persisted = persisted
+        self.details = list(details)
         shown = "; ".join(
             f"{scenario.label()}: {message}" for scenario, message in self.failures[:3]
         )

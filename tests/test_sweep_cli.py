@@ -365,3 +365,92 @@ class TestDistributedCommand:
         assert serial_out.read_bytes() == distrib_out.read_bytes()
         assert "executed 4 cell(s), 0 from cache" in out
         assert f"queue: {tmp_path / 'distrib-cells' / 'queue'}" in out
+
+
+class TestChaosFlags:
+    """Retry/fault/fsync flags: parsing, gating, and the poison-cell
+    contract end to end (exit 1, ledger populated, partial ``--out``
+    byte-identical to a serial sweep of the surviving cells)."""
+
+    def test_parser_chaos_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--distributed", "--max-attempts", "5",
+             "--retry-backoff", "0.5", "--fail-fast", "--fault-plan", "p.json",
+             "--no-fsync"]
+        )
+        assert args.max_attempts == 5 and args.retry_backoff == 0.5
+        assert args.fail_fast and args.fault_plan == "p.json"
+        assert args.no_fsync is True
+        worker = build_parser().parse_args(
+            ["sweep-worker", "--queue", "q", "--fault-plan", "p.json"]
+        )
+        assert worker.fault_plan == "p.json"
+
+    def test_chaos_flags_require_distributed(self, capsys):
+        for flags in (["--max-attempts", "2"], ["--retry-backoff", "1"],
+                      ["--fail-fast"], ["--fault-plan", "p.json"]):
+            assert main(["sweep", "--no-cache", *flags]) == 2
+            assert "--distributed" in capsys.readouterr().err
+
+    def test_unreadable_fault_plan_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "plan.json"
+        bad.write_text("{not json")
+        assert main(
+            ["sweep", "--distributed", "--cache-dir", str(tmp_path / "c"),
+             "--fault-plan", str(bad)]
+        ) == 2
+        assert "cannot read fault plan" in capsys.readouterr().err
+
+    def test_worker_rejects_unreadable_fault_plan(self, tmp_path, capsys):
+        assert main(
+            ["sweep-worker", "--queue", str(tmp_path / "q"),
+             "--fault-plan", str(tmp_path / "missing.json")]
+        ) == 2
+        assert "cannot read fault plan" in capsys.readouterr().err
+
+    def test_poison_cell_exits_one_with_ledger_and_partial_out(
+        self, tmp_path, capsys
+    ):
+        # The second task (rank 000001) is poisoned through the fault
+        # plane — deterministically, inside real subprocess workers —
+        # while its sibling survives.
+        spec = tmp_path / "grid.json"
+        spec.write_text(json.dumps(
+            {"seed": 0, "workload": "LiR", "theta": [0.7, 1.0],
+             "predictor": "oracle"}
+        ))
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps(
+            {"rules": [{"site": "worker.cell.execute", "action": "raise",
+                        "match": "000001", "times": 100}]}
+        ))
+        out = tmp_path / "partial.json"
+        cache_dir = tmp_path / "cells"
+        assert main(
+            ["sweep", "--spec", str(spec), "--distributed", "--jobs", "1",
+             "--cache-dir", str(cache_dir), "--max-attempts", "2",
+             "--retry-backoff", "0.01", "--fault-plan", str(plan),
+             "--out", str(out)]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "injected ENOSPC" in captured.err
+        assert "attempts=2" in captured.err
+        assert f"failure ledger: {cache_dir / 'queue' / 'failures'}" in captured.err
+        assert "wrote partial" in captured.err + captured.out
+
+        ledgered = list((cache_dir / "queue" / "failures").iterdir())
+        assert len(ledgered) == 1 and ledgered[0].name.startswith("000001")
+
+        # Byte-identical partial: a serial sweep of only the surviving
+        # cell must produce the identical --out file.
+        serial_spec = tmp_path / "surviving.json"
+        serial_spec.write_text(json.dumps(
+            {"seed": 0, "workload": "LiR", "theta": [0.7], "predictor": "oracle"}
+        ))
+        serial_out = tmp_path / "serial.json"
+        assert main(
+            ["sweep", "--spec", str(serial_spec),
+             "--cache-dir", str(tmp_path / "serial-cells"),
+             "--out", str(serial_out)]
+        ) == 0
+        assert out.read_bytes() == serial_out.read_bytes()

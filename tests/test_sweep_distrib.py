@@ -50,13 +50,19 @@ def ordered_cells(grid=None) -> list[Scenario]:
     return task_order(list(grid or tiny_grid()), jobs=2)
 
 
-def make_queue(tmp_path, cells=None, lease_ttl=60.0) -> TaskQueue:
+def make_queue(tmp_path, cells=None, lease_ttl=60.0, **policy) -> TaskQueue:
+    # Tests that exercise retry semantics pass their own policy; the
+    # rest keep the broker defaults (and a tiny backoff so any retry
+    # that does happen never slows the suite).
+    policy.setdefault("backoff_base", 0.01)
+    policy.setdefault("backoff_cap", 0.05)
     cache = SweepCache(tmp_path / "cells")
     return TaskQueue.create(
         cache.queue_root,
         cells if cells is not None else ordered_cells(),
         cache_path="..",
         lease_ttl=lease_ttl,
+        **policy,
     )
 
 
@@ -485,7 +491,10 @@ class TestSweepWorker:
 
         monkeypatch.setattr(runner_mod, "run_scenario", boom)
         cells = ordered_cells()
-        queue = make_queue(tmp_path, cells)
+        # max_attempts=1 pins the single-attempt contract this test is
+        # about; the retry budget has its own tests in
+        # test_sweep_faults.py.
+        queue = make_queue(tmp_path, cells, max_attempts=1)
         worker = SweepWorker(queue, worker_id="w1", poll_interval=0.01)
         worker.run()
         assert worker.failed == 1
@@ -610,7 +619,7 @@ class TestDistributedRunner:
         monkeypatch.setattr(runner_mod, "run_scenario", boom)
         grid = tiny_grid()
         runner = DistributedSweepRunner(
-            cache=tmp_path / "cells", jobs=0, poll_interval=0.01
+            cache=tmp_path / "cells", jobs=0, poll_interval=0.01, max_attempts=1
         )
         thread = self._drain_in_background(runner)
         try:
@@ -652,7 +661,7 @@ class TestDistributedRunner:
         monkeypatch.setattr(runner_mod, "run_scenario", boom)
         grid = tiny_grid()
         runner = DistributedSweepRunner(
-            cache=tmp_path / "cells", jobs=0, poll_interval=0.01
+            cache=tmp_path / "cells", jobs=0, poll_interval=0.01, max_attempts=1
         )
         thread = self._drain_in_background(runner)
         try:
@@ -703,7 +712,9 @@ class TestDistributedRunner:
         monkeypatch.setattr(runner_mod, "run_scenario", boom)
         grid = tiny_grid()
         cache = SweepCache(tmp_path / "cells")
-        runner = DistributedSweepRunner(cache=cache, jobs=0, poll_interval=0.01)
+        runner = DistributedSweepRunner(
+            cache=cache, jobs=0, poll_interval=0.01, max_attempts=1
+        )
         thread = self._drain_in_background(runner)
         try:
             with pytest.raises(SweepCellError):
@@ -844,7 +855,7 @@ class TestDistributedRunner:
         monkeypatch.setattr(runner_mod, "run_scenario", boom)
         grid = ScenarioGrid.from_axes(workload="LiR", theta=0.7, predictor="oracle")
         runner = DistributedSweepRunner(
-            cache=tmp_path / "cells", jobs=0, poll_interval=0.01
+            cache=tmp_path / "cells", jobs=0, poll_interval=0.01, max_attempts=1
         )
 
         def work():
