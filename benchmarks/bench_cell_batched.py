@@ -1,0 +1,75 @@
+"""Batched-core speedup: the live hot path vs the frozen scalar core.
+
+ISSUE 7 rebuilt the per-cell hot path — vectorised curve observation
+and accounting, incremental plateau detection, memoised feature rows
+and history embeddings, cache-free split inference, one
+``probability_many`` pass per provisioning decision — under a strict
+byte-identity contract with the pre-batching code, which is kept
+verbatim in :mod:`repro.core.reference`.  This benchmark drives the
+most predictor-heavy golden cell (LoR at theta 0.7 over an untrained
+RevPred bank, so every query pays full network inference) through both
+cores, asserts the summaries are byte-identical, and enforces the
+acceptance floor: the batched core is at least 5x faster.
+
+Run with ``pytest benchmarks/bench_cell_batched.py -s``.
+"""
+
+import time
+
+from repro.analysis.cells import run_cell
+from repro.core.reference import (
+    ReferenceBankPredictor,
+    ReferenceCachingPredictor,
+    ReferenceOrchestrator,
+)
+from repro.revpred.predictor import CachingPredictor
+from repro.revpred.trainer import untrained_predictor_bank
+from repro.sweep.cache import canonical_json
+
+WORKLOAD = "LoR"
+THETA = 0.7
+
+
+def _run_live(context, bank):
+    # A fresh memoising wrapper per round: warm-cache rounds would
+    # flatter the measurement and the scalar core gets a fresh one too.
+    return run_cell(context, WORKLOAD, THETA, CachingPredictor(bank))
+
+
+def _run_reference(context, bank):
+    return run_cell(
+        context,
+        WORKLOAD,
+        THETA,
+        ReferenceCachingPredictor(ReferenceBankPredictor(bank)),
+        orchestrator_cls=ReferenceOrchestrator,
+    )
+
+
+def test_batched_cell_is_5x_faster(benchmark, context):
+    bank = untrained_predictor_bank(context.dataset)
+
+    reference_started = time.perf_counter()
+    reference_summary = _run_reference(context, bank)
+    reference_elapsed = time.perf_counter() - reference_started
+
+    live_summary = benchmark.pedantic(
+        _run_live, args=(context, bank), rounds=3, iterations=1, warmup_rounds=1
+    )
+    live_elapsed = benchmark.stats.stats.min
+
+    assert canonical_json(live_summary) == canonical_json(reference_summary), (
+        "batched core diverged from the frozen scalar core — the "
+        "byte-identity contract is broken, speed is irrelevant"
+    )
+
+    speedup = reference_elapsed / live_elapsed
+    print(
+        f"\n{WORKLOAD} theta={THETA} untrained-bank cell: "
+        f"scalar {reference_elapsed:.2f}s, batched {live_elapsed:.3f}s, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, (
+        f"batched cell is only {speedup:.1f}x faster than the frozen "
+        "scalar core; the ISSUE 7 acceptance floor is 5x"
+    )

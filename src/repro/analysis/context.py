@@ -49,6 +49,15 @@ class ExperimentContext:
     #: stored here after training, so one training (by any process, in
     #: any sweep) serves every later consumer of the same fingerprint.
     bank_cache: "object | None" = None
+    #: Optional directory of a market snapshot (see
+    #: :mod:`repro.market.snapshot`).  When set and loadable, the
+    #: dataset is memory-mapped from disk instead of regenerated —
+    #: worker processes on one host then share a single page-cache copy
+    #: of every trace.  Snapshots round-trip float64 exactly, so the
+    #: loaded dataset (and everything computed from it) is bitwise
+    #: identical to the generated one; an unreadable snapshot silently
+    #: falls back to generation.
+    dataset_path: "str | None" = None
     speed_model: SpeedModel = field(init=False)
     #: How many banks this context actually trained / loaded from the
     #: bank cache — the observable the exactly-once tests assert on.
@@ -65,6 +74,12 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     @cached_property
     def dataset(self) -> SpotPriceDataset:
+        if self.dataset_path is not None:
+            from repro.market.snapshot import load_market_snapshot
+
+            snapshot = load_market_snapshot(self.dataset_path)
+            if snapshot is not None:
+                return snapshot
         return generate_default_dataset(seed=self.seed, days=TOTAL_DAYS)
 
     @cached_property
@@ -309,7 +324,12 @@ class ExperimentContext:
 
 
 def build_context(
-    seed: int = 0, scale: str = "small", bank_cache=None
+    seed: int = 0, scale: str = "small", bank_cache=None, dataset_path=None
 ) -> ExperimentContext:
     """Convenience constructor used by benchmarks and examples."""
-    return ExperimentContext(seed=seed, scale=scale, bank_cache=bank_cache)
+    return ExperimentContext(
+        seed=seed,
+        scale=scale,
+        bank_cache=bank_cache,
+        dataset_path=str(dataset_path) if dataset_path is not None else None,
+    )

@@ -65,14 +65,36 @@ class Provisioner:
         self.delta_high = delta_high
 
     def get_best_instance(self, hp_id: str, t: float) -> ProvisionDecision:
-        """The instance with the lowest expected step cost right now."""
-        best: ProvisionDecision | None = None
-        candidates: dict[str, float] = {}
+        """The instance with the lowest expected step cost right now.
+
+        Runs in three phases so the revocation probabilities for the
+        whole pool are scored as one batched pass per decision: (1) the
+        market quotes plus the sequential max-price delta draws (the
+        draw order is part of the orchestrator's rng stream and must
+        stay in pool order), (2) one ``probability_many`` pass over all
+        candidates (memo-sharing, see CachingPredictor), (3) the
+        Equation 1/2 economics and the strict-``<`` argmin in pool
+        order.  Every phase computes exactly what the fused per-instance
+        loop computed, so decisions are bitwise-identical.
+        """
+        quotes: list[tuple[InstanceType, float]] = []
         for instance in self.pool:
             current_price = self.provider.current_price(instance)
             delta = float(self.rng.uniform(self.delta_low, self.delta_high))
-            max_price = current_price + delta
-            probability = self.predictor.probability(instance, t, max_price)
+            quotes.append((instance, current_price + delta))
+        probability_many = getattr(self.predictor, "probability_many", None)
+        if probability_many is not None:
+            probabilities = probability_many(
+                [(instance, t, max_price) for instance, max_price in quotes]
+            )
+        else:
+            probabilities = [
+                self.predictor.probability(instance, t, max_price)
+                for instance, max_price in quotes
+            ]
+        best: ProvisionDecision | None = None
+        candidates: dict[str, float] = {}
+        for (instance, max_price), probability in zip(quotes, probabilities):
             average_price = self.provider.mean_price_last_hour(instance)
             expected_hour_cost = (1.0 - probability) * average_price
             step_cost = self.matrix.get(instance, hp_id) / 3600.0 * expected_hour_cost

@@ -1,34 +1,24 @@
-"""The SpotTune Orchestrator — Algorithm 1.
+"""Frozen scalar simulation core (the pre-batching code).
 
-Runs one workload's HPT jobs (one per hyper-parameter configuration,
-each on its own spot VM) over the simulated cloud:
-
-* every 10 seconds the loop polls all jobs (Algorithm 1 lines 15-46);
-* on a revocation notice, the job checkpoints to the object store and
-  re-enters the waiting queue; the doomed VM keeps running until AWS
-  revokes it — within its first instance hour that makes the whole
-  segment free;
-* a job that has run on one VM for over an hour checkpoints and shuts
-  the VM down, buying a fresh first-hour refund lottery ticket;
-* a job that reaches theta * max_trial_steps (or whose metric curve
-  plateaus, when early shutdown is enabled) checkpoints and finishes;
-* waiting jobs are (re)deployed on the Provisioner's argmin-step-cost
-  instance, restoring from their checkpoint;
-* when every job is finished, EarlyCurve predicts each configuration's
-  final metric and the top-mcnt are selected (lines 48-53); optionally
-  the selected models then continue training from their checkpoints to
-  max_trial_steps.
-
-If a VM dies before its notice is processed (revocation within seconds
-of launch), progress since the last checkpoint is genuinely lost and
-the job resumes from its checkpoint — the fault-tolerance path.
+This module keeps the original per-cell hot path verbatim, the way
+``repro.market.reference`` keeps the per-minute market-generation
+loop: the one-point-at-a-time curve observation, the windowed plateau
+scan re-run on every poll tick, the per-minute Python feature
+extraction, and the one-query-per-call single-row LSTM inference.  It
+is not on any production path: the golden regression tests pin the
+batched core's summaries against the runs this code produces, and
+``benchmarks/bench_cell_batched.py`` measures the batching speedup
+over it.  Do not "optimise" this module; its value is that it never
+changes.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
+
+import numpy as np
 
 from repro.cloud.provider import TERMINATION_NOTICE_SECONDS, SimCloudProvider
 from repro.cloud.storage import ObjectStore
@@ -38,26 +28,191 @@ from repro.core.checkpoint_policy import CheckpointPolicy, NoticeOnlyPolicy, Pol
 from repro.core.config import SpotTuneConfig
 from repro.core.perf_matrix import PerformanceMatrix
 from repro.core.provisioner import ProvisionDecision, Provisioner
-from repro.earlycurve.predictor import EarlyCurvePredictor, StopReason, rank_configurations
+from repro.earlycurve.model import StagedCurveModel
+from repro.earlycurve.predictor import StopReason, rank_configurations
 from repro.market.dataset import SpotPriceDataset
-from repro.revpred.predictor import RevocationPredictor
+from repro.market.trace import HOUR, MINUTE
+from repro.sim.clock import hour_of_day, is_workday
 from repro.sim.events import Simulation
 from repro.sim.rng import RngStream
 from repro.workloads.speed import SpeedModel
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.trial import Trial
 
-#: Hard ceiling on simulated run length; exceeding it means the run is
-#: stuck (e.g. a trace too short for the workload) and must fail loudly.
-MAX_SIMULATED_SECONDS = 30 * 86400.0
+#: Frozen copies of the pre-batching constants.
+_MAX_SIMULATED_SECONDS = 30 * 86400.0
+_PLATEAU_WINDOW = 20
+_PLATEAU_TOLERANCE = 1e-3
+_HISTORY_MINUTES = 59
 
 
+# ----------------------------------------------------------------------
+# Scalar feature extraction (pre-vectorisation ``market.features`` code)
+# ----------------------------------------------------------------------
+def reference_base_features(trace, on_demand_price: float, t: float) -> np.ndarray:
+    """The six engineered features at time ``t`` — per-call scalar ops."""
+    scale = on_demand_price
+    current = trace.price_at(t) / scale
+    average = trace.mean_price_in(t - HOUR, t) / scale
+    changes = trace.changes_in(t - HOUR, t) / 60.0
+    since_set = min(t - trace.last_change_time(t), HOUR) / HOUR
+    workday = 1.0 if is_workday(t) else 0.0
+    hour = hour_of_day(t) / 23.0
+    return np.array([current, average, changes, since_set, workday, hour])
+
+
+def reference_history_matrix(trace, on_demand_price: float, t: float) -> np.ndarray:
+    """Feature matrix of the past 59 minutes — one Python call per row."""
+    times = [t - (_HISTORY_MINUTES - k) * MINUTE for k in range(_HISTORY_MINUTES)]
+    return np.stack(
+        [reference_base_features(trace, on_demand_price, tk) for tk in times]
+    )
+
+
+def reference_window_sample(
+    extractor, t: float, max_price: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Full model input at ``t``: (history (59, 6), present (7,))."""
+    trace = extractor.trace
+    scale = extractor.on_demand_price
+    history = reference_history_matrix(trace, scale, t)
+    base = reference_base_features(trace, scale, t)
+    present = np.concatenate([base, [max_price / scale]])
+    return history, present
+
+
+# ----------------------------------------------------------------------
+# Scalar single-row inference (pre-batching ``MarketPredictor`` code)
+# ----------------------------------------------------------------------
+class ReferenceBankPredictor:
+    """One single-row full-network forward per probability query.
+
+    Wraps a live :class:`~repro.revpred.predictor.PredictorBank` but
+    routes every query through the frozen scalar feature window and the
+    model's training-path ``forward`` (backward-capable, cache-filling)
+    — exactly what inference did before the batched core.
+    """
+
+    def __init__(self, bank) -> None:
+        self.bank = bank
+
+    def probability(self, instance, t: float, max_price: float) -> float:
+        market = self.bank.predictors[instance.name]
+        history, present = reference_window_sample(market.extractor, t, max_price)
+        p_hat = float(market.model.predict_proba(history[None], present[None])[0])
+        return float(market.correction.apply(p_hat))
+
+
+class ReferenceCachingPredictor:
+    """Frozen copy of the memoising wrapper (same quantisation)."""
+
+    def __init__(
+        self, inner, time_quantum: float = 300.0, price_decimals: int = 3
+    ) -> None:
+        self.inner = inner
+        self.time_quantum = time_quantum
+        self.price_decimals = price_decimals
+        self._cache: dict = {}
+
+    def probability(self, instance, t: float, max_price: float) -> float:
+        key = (
+            instance.name,
+            int(t // self.time_quantum),
+            round(max_price, self.price_decimals),
+        )
+        if key not in self._cache:
+            quantised_time = (key[1] + 0.5) * self.time_quantum
+            self._cache[key] = self.inner.probability(instance, quantised_time, max_price)
+        return self._cache[key]
+
+
+# ----------------------------------------------------------------------
+# Scalar EarlyCurve predictor (windowed plateau scan per tick)
+# ----------------------------------------------------------------------
 @dataclass
-class _Job:
-    """Mutable per-job state of the polling loop."""
+class ReferenceEarlyCurvePredictor:
+    """Per-job metric collector with the original re-scanned plateau."""
+
+    max_trial_steps: int
+    theta: float
+    model: StagedCurveModel = field(default_factory=StagedCurveModel)
+    plateau_window: int = _PLATEAU_WINDOW
+    plateau_tolerance: float = _PLATEAU_TOLERANCE
+    steps: list = field(default_factory=list)
+    values: list = field(default_factory=list)
+
+    @property
+    def cutoff_step(self) -> int:
+        return int(round(self.theta * self.max_trial_steps))
+
+    def observe(self, step: int, value: float) -> None:
+        if self.steps and step <= self.steps[-1]:
+            raise ValueError(
+                f"metric steps must be increasing: {step} after {self.steps[-1]}"
+            )
+        if not np.isfinite(value):
+            raise ValueError(f"metric value must be finite: {value}")
+        self.steps.append(int(step))
+        self.values.append(float(value))
+
+    @property
+    def observed_steps(self) -> int:
+        return self.steps[-1] if self.steps else 0
+
+    def has_converged(self) -> bool:
+        """The original full-window re-scan, run on every call."""
+        if len(self.values) < self.plateau_window + 1:
+            return False
+        tail = np.asarray(self.values[-(self.plateau_window + 1) :])
+        denominators = np.maximum(np.abs(tail[:-1]), 1e-12)
+        rates = np.abs(np.diff(tail)) / denominators
+        return bool(np.all(rates < self.plateau_tolerance))
+
+    def should_stop(self) -> Optional[StopReason]:
+        if self.observed_steps >= self.cutoff_step:
+            return StopReason.THETA_REACHED
+        if self.has_converged():
+            return StopReason.CONVERGED
+        return None
+
+    def predict_final(self):
+        from repro.earlycurve.predictor import PredictionOutcome
+
+        if not self.values:
+            raise ValueError("no metric points observed yet")
+        if self.observed_steps >= self.max_trial_steps:
+            return PredictionOutcome(
+                predicted_final=self.values[-1],
+                mode="observed",
+                observed_steps=self.observed_steps,
+            )
+        if self.has_converged():
+            tail = self.values[-self.plateau_window :]
+            return PredictionOutcome(
+                predicted_final=float(np.mean(tail)),
+                mode="converged",
+                observed_steps=self.observed_steps,
+            )
+        fit = self.model.fit(np.asarray(self.values))
+        points_per_step = len(self.values) / max(self.observed_steps, 1)
+        target_index = self.max_trial_steps * points_per_step - 1.0
+        return PredictionOutcome(
+            predicted_final=float(fit.predict(target_index)),
+            mode="extrapolated",
+            observed_steps=self.observed_steps,
+            fit=fit,
+        )
+
+
+# ----------------------------------------------------------------------
+# The frozen scalar orchestrator (pre-batching Algorithm 1 loop)
+# ----------------------------------------------------------------------
+@dataclass
+class _ReferenceJob:
+    """Mutable per-job state of the original polling loop."""
 
     trial: Trial
-    curve_predictor: EarlyCurvePredictor
+    curve_predictor: ReferenceEarlyCurvePredictor
     record: JobRecord
     cutoff_steps: int
     steps_done: float = 0.0
@@ -81,15 +236,15 @@ class _Job:
         return self.trial.trial_id
 
 
-class SpotTuneOrchestrator:
-    """Drives Algorithm 1 for one workload over a replayed market."""
+class ReferenceOrchestrator:
+    """The original one-job-at-a-time scalar Algorithm 1 driver."""
 
     def __init__(
         self,
         workload: WorkloadSpec,
         trials: list[Trial],
         dataset: SpotPriceDataset,
-        predictor: RevocationPredictor,
+        predictor,
         config: SpotTuneConfig | None = None,
         speed_model: SpeedModel | None = None,
         start_time: float = 0.0,
@@ -104,15 +259,6 @@ class SpotTuneOrchestrator:
         self.speed_model = speed_model if speed_model is not None else SpeedModel()
         self.checkpoint_policy = (
             checkpoint_policy if checkpoint_policy is not None else NoticeOnlyPolicy()
-        )
-        # Notice-only (and the bare base) policy never asks for an
-        # extra checkpoint; skipping the PolicyContext construction on
-        # every poll of every job is pure win.  Exact-type check: a
-        # subclass may override should_checkpoint and must not be
-        # skipped.
-        self._policy_never_fires = type(self.checkpoint_policy) in (
-            CheckpointPolicy,
-            NoticeOnlyPolicy,
         )
         self.sim = Simulation(start=start_time)
         self.provider = SimCloudProvider(self.sim, dataset)
@@ -130,22 +276,18 @@ class SpotTuneOrchestrator:
         )
         self._jobs = [self._make_job(trial) for trial in trials]
 
-    def _make_job(self, trial: Trial) -> _Job:
-        curve_predictor = EarlyCurvePredictor(
+    def _make_job(self, trial: Trial) -> _ReferenceJob:
+        curve_predictor = ReferenceEarlyCurvePredictor(
             max_trial_steps=trial.max_trial_steps, theta=self.config.theta
         )
-        return _Job(
+        return _ReferenceJob(
             trial=trial,
             curve_predictor=curve_predictor,
             record=JobRecord(trial_id=trial.trial_id),
             cutoff_steps=curve_predictor.cutoff_step,
         )
 
-    # ------------------------------------------------------------------
-    # Main loop
-    # ------------------------------------------------------------------
     def run(self, continue_top: bool = False) -> RunResult:
-        """Execute the full HPT process; returns the run's accounting."""
         start = self.sim.now
         self._poll_until_done()
         ranking_time = self.sim.now
@@ -187,11 +329,11 @@ class SpotTuneOrchestrator:
         )
 
     def _poll_until_done(self) -> None:
-        deadline = self.sim.now + MAX_SIMULATED_SECONDS
+        deadline = self.sim.now + _MAX_SIMULATED_SECONDS
         while not all(job.finished for job in self._jobs):
             if self.sim.now > deadline:
                 raise RuntimeError(
-                    f"simulation exceeded {MAX_SIMULATED_SECONDS}s; "
+                    f"simulation exceeded {_MAX_SIMULATED_SECONDS}s; "
                     "the run appears stuck (trace too short or jobs starved)"
                 )
             self.sim.run_until(self.sim.now + self.config.poll_interval)
@@ -203,8 +345,7 @@ class SpotTuneOrchestrator:
                 if not job.finished and job.vm is None and now >= job.busy_until:
                     self._deploy(job, now)
 
-    def _poll_job(self, job: _Job, now: float) -> None:
-        """One job's pass through Algorithm 1's event dispatch."""
+    def _poll_job(self, job: _ReferenceJob, now: float) -> None:
         if job.vm is not None and not job.vm_lost:
             self._sync_progress(job, now)
         if job.vm is None:
@@ -214,11 +355,6 @@ class SpotTuneOrchestrator:
             return
         self.matrix.update(job.vm.instance, job.trial_id, job.segment_sps)
         if job.vm.consume_notice():
-            # Revocation notice: checkpoint and walk away; the doomed VM
-            # bills until AWS revokes it (refunded if inside hour one).
-            # The save must fit inside what remains of the two-minute
-            # window — an oversized model loses its unsaved progress
-            # (the case motivating the periodic checkpoint policy).
             deadline = job.vm.notice_time + TERMINATION_NOTICE_SECONDS - now
             saved = self._checkpoint(job, now, deadline=deadline)
             if not saved:
@@ -230,20 +366,15 @@ class SpotTuneOrchestrator:
             self._finish(job, now)
             return
         if now - job.vm_assigned_at >= self.config.reschedule_after:
-            # One instance hour is up: recycle for a fresh refund window.
             self._checkpoint(job, now)
             self.provider.terminate(job.vm)
             self._close_segment(job, now)
             return
-        if self._policy_never_fires:
-            return
         if self.checkpoint_policy.should_checkpoint(self._policy_context(job, now)):
             self._checkpoint(job, now)
 
-    # ------------------------------------------------------------------
-    # Progress and metrics
-    # ------------------------------------------------------------------
-    def _sync_progress(self, job: _Job, now: float) -> None:
+    def _sync_progress(self, job: _ReferenceJob, now: float) -> None:
+        """The original per-point while loop — one metric_at per step."""
         if now <= job.anchor or job.current_segment is None:
             return
         raw = job.steps_at_anchor + (now - job.anchor) / job.segment_sps
@@ -254,40 +385,21 @@ class SpotTuneOrchestrator:
         job.steps_done = new_steps
         job.current_segment.steps += delta
         whole_steps = math.floor(job.steps_done)
-        first = job.next_metric_step
-        if first <= whole_steps:
-            # The tick's metric points form an arithmetic sequence; pull
-            # their values in one vectorised read instead of one curve
-            # lookup per step.  Steps the predictor already saw (replay
-            # after a restore) can only sit at the head of the sequence,
-            # so one filter against the pre-tick high-water mark matches
-            # the old per-step `step > observed_steps` guard exactly.
-            stride = self.workload.validate_every
-            count = (whole_steps - first) // stride + 1
-            observed = job.curve_predictor.observed_steps
-            pending = [
-                step
-                for step in range(first, whole_steps + 1, stride)
-                if step > observed
-            ]
-            if pending:
-                observe = job.curve_predictor.observe
-                for step, value in zip(pending, job.trial.metrics_at(pending)):
-                    observe(step, float(value))
-            job.next_metric_step = first + stride * count
+        while job.next_metric_step <= whole_steps:
+            step = job.next_metric_step
+            if step > job.curve_predictor.observed_steps:
+                job.curve_predictor.observe(step, job.trial.metric_at(step))
+            job.next_metric_step += self.workload.validate_every
 
-    def _reached_cutoff(self, job: _Job) -> bool:
+    def _reached_cutoff(self, job: _ReferenceJob) -> bool:
         return job.steps_done + 1e-9 >= job.cutoff_steps
 
-    def _converged(self, job: _Job) -> bool:
+    def _converged(self, job: _ReferenceJob) -> bool:
         if not self.config.early_shutdown_enabled:
             return False
         return job.curve_predictor.should_stop() is StopReason.CONVERGED
 
-    # ------------------------------------------------------------------
-    # Lifecycle transitions
-    # ------------------------------------------------------------------
-    def _deploy(self, job: _Job, now: float) -> None:
+    def _deploy(self, job: _ReferenceJob, now: float) -> None:
         decision = self.provisioner.get_best_instance(job.trial_id, now)
         request = self.provider.request_spot(
             decision.instance,
@@ -295,7 +407,7 @@ class SpotTuneOrchestrator:
             on_revocation=lambda vm, job=job: self._on_revoked(job, vm),
         )
         if not request.fulfilled:
-            return  # retry at the next poll with a fresh delta draw
+            return
         vm = request.vm
         assert vm is not None
         job.vm = vm
@@ -318,7 +430,7 @@ class SpotTuneOrchestrator:
         job.record.segments.append(segment)
         job.current_segment = segment
 
-    def _policy_context(self, job: _Job, now: float) -> PolicyContext:
+    def _policy_context(self, job: _ReferenceJob, now: float) -> PolicyContext:
         assert job.vm is not None
         return PolicyContext(
             now=now,
@@ -329,9 +441,9 @@ class SpotTuneOrchestrator:
             steps_since_checkpoint=job.steps_done - job.checkpoint_steps,
         )
 
-    def _checkpoint(self, job: _Job, now: float, deadline: float | None = None) -> bool:
-        """Persist the job's state; returns False when the save cannot
-        finish before ``deadline`` (revocation beats the upload)."""
+    def _checkpoint(
+        self, job: _ReferenceJob, now: float, deadline: float | None = None
+    ) -> bool:
         assert job.vm is not None
         duration = self.store.throughput.checkpoint_duration(
             self.workload.model_size_mb, job.vm.instance
@@ -352,8 +464,7 @@ class SpotTuneOrchestrator:
         job.busy_until = now + duration
         return True
 
-    def _roll_back_to_checkpoint(self, job: _Job) -> None:
-        """Discard progress that never reached the object store."""
+    def _roll_back_to_checkpoint(self, job: _ReferenceJob) -> None:
         lost = job.steps_done - job.checkpoint_steps
         if lost <= 0:
             return
@@ -362,14 +473,14 @@ class SpotTuneOrchestrator:
             job.current_segment.steps = max(0.0, job.current_segment.steps - lost)
         job.steps_done = job.checkpoint_steps
 
-    def _close_segment(self, job: _Job, now: float) -> None:
+    def _close_segment(self, job: _ReferenceJob, now: float) -> None:
         if job.current_segment is not None:
             job.current_segment.end = now
         job.vm = None
         job.vm_lost = False
         job.current_segment = None
 
-    def _finish(self, job: _Job, now: float) -> None:
+    def _finish(self, job: _ReferenceJob, now: float) -> None:
         assert job.vm is not None
         self.provider.terminate(job.vm)
         self._close_segment(job, now)
@@ -379,9 +490,7 @@ class SpotTuneOrchestrator:
         reason = job.curve_predictor.should_stop()
         job.record.finish_mode = reason.value if reason else "cutoff"
 
-    def _handle_lost_vm(self, job: _Job) -> None:
-        """VM revoked before its notice was processed: progress since
-        the last checkpoint is gone."""
+    def _handle_lost_vm(self, job: _ReferenceJob) -> None:
         lost = job.steps_done - job.checkpoint_steps
         job.record.lost_steps += lost
         if job.current_segment is not None:
@@ -392,16 +501,11 @@ class SpotTuneOrchestrator:
         job.vm_lost = False
         job.current_segment = None
 
-    def _on_revoked(self, job: _Job, vm: SpotVM) -> None:
+    def _on_revoked(self, job: _ReferenceJob, vm: SpotVM) -> None:
         if job.vm is vm:
             job.vm_lost = True
 
-    # ------------------------------------------------------------------
-    # Continuation and bookkeeping
-    # ------------------------------------------------------------------
     def _reopen_for_continuation(self, selected: list[str]) -> None:
-        """Algorithm 1 line 53: continue training the top-mcnt models
-        from their checkpoints to the full max_trial_steps."""
         for job in self._jobs:
             if job.trial_id in selected and job.steps_done < job.trial.max_trial_steps:
                 job.cutoff_steps = job.trial.max_trial_steps

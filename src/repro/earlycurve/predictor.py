@@ -54,6 +54,14 @@ class EarlyCurvePredictor:
     plateau_tolerance: float = PLATEAU_TOLERANCE
     steps: list[int] = field(default_factory=list)
     values: list[float] = field(default_factory=list)
+    #: Length of the run of trailing consecutive points whose relative
+    #: change stayed under the tolerance — the incremental form of the
+    #: windowed plateau scan (O(1) per observation instead of O(window)
+    #: per poll).  ``_tracked`` records how many values the run has
+    #: accounted for, so values mutated behind ``observe``'s back fall
+    #: back to the full scan instead of trusting a stale counter.
+    _plateau_run: int = field(default=0, repr=False, compare=False)
+    _tracked: int = field(default=0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.max_trial_steps <= 0:
@@ -76,19 +84,36 @@ class EarlyCurvePredictor:
             raise ValueError(f"metric value must be finite: {value}")
         self.steps.append(int(step))
         self.values.append(float(value))
+        if len(self.values) >= 2:
+            previous = self.values[-2]
+            rate = abs(self.values[-1] - previous) / max(abs(previous), 1e-12)
+            self._plateau_run = (
+                self._plateau_run + 1 if rate < self.plateau_tolerance else 0
+            )
+        self._tracked = len(self.values)
 
     @property
     def observed_steps(self) -> int:
         return self.steps[-1] if self.steps else 0
 
     def has_converged(self) -> bool:
-        """Plateau test over the trailing window."""
+        """Plateau test over the trailing window.
+
+        Answered from the run counter maintained by :meth:`observe` —
+        scalar float64 ops reproduce the windowed numpy scan bit for
+        bit, and "all window rates under tolerance" is exactly "the
+        trailing run is at least window long".  Values injected without
+        going through ``observe`` (tests, deserialisation) are detected
+        via ``_tracked`` and fall back to the full windowed scan.
+        """
         if len(self.values) < self.plateau_window + 1:
             return False
-        tail = np.asarray(self.values[-(self.plateau_window + 1) :])
-        denominators = np.maximum(np.abs(tail[:-1]), 1e-12)
-        rates = np.abs(np.diff(tail)) / denominators
-        return bool(np.all(rates < self.plateau_tolerance))
+        if len(self.values) != self._tracked:
+            tail = np.asarray(self.values[-(self.plateau_window + 1) :])
+            denominators = np.maximum(np.abs(tail[:-1]), 1e-12)
+            rates = np.abs(np.diff(tail)) / denominators
+            return bool(np.all(rates < self.plateau_tolerance))
+        return self._plateau_run >= self.plateau_window
 
     def should_stop(self) -> Optional[StopReason]:
         """Whether the job can stop now, and why."""

@@ -49,6 +49,14 @@ class PresentRecord:
     max_price: float
 
 
+#: Memoised feature rows per extractor before the memo resets.  History
+#: windows at nearby sample times share most of their minute rows (two
+#: samples 5 minutes apart share 54 of 59), so inference reuses rows
+#: heavily; training sweeps with arbitrary sample times would otherwise
+#: grow the memo without bound.
+_ROW_CACHE_MAX = 32768
+
+
 class FeatureExtractor:
     """Computes normalised feature windows from a price trace."""
 
@@ -57,6 +65,10 @@ class FeatureExtractor:
             raise ValueError(f"on-demand price must be positive: {on_demand_price}")
         self.trace = trace
         self.on_demand_price = float(on_demand_price)
+        #: Feature rows keyed by exact sample time.  The row is a pure
+        #: function of (trace, on-demand price, t), so a memo hit is the
+        #: identical array — bitwise, not approximately.
+        self._row_cache: dict[float, np.ndarray] = {}
 
     @property
     def earliest_sample_time(self) -> float:
@@ -65,15 +77,22 @@ class FeatureExtractor:
 
     def base_features_at(self, t: float) -> np.ndarray:
         """The six engineered features at time ``t`` (normalised)."""
-        trace = self.trace
-        scale = self.on_demand_price
-        current = trace.price_at(t) / scale
-        average = trace.mean_price_in(t - HOUR, t) / scale
-        changes = trace.changes_in(t - HOUR, t) / 60.0
-        since_set = min(t - trace.last_change_time(t), HOUR) / HOUR
-        workday = 1.0 if is_workday(t) else 0.0
-        hour = hour_of_day(t) / 23.0
-        return np.array([current, average, changes, since_set, workday, hour])
+        row = self._row_cache.get(t)
+        if row is None:
+            trace = self.trace
+            scale = self.on_demand_price
+            current = trace.price_at(t) / scale
+            average = trace.mean_price_in(t - HOUR, t) / scale
+            changes = trace.changes_in(t - HOUR, t) / 60.0
+            since_set = min(t - trace.last_change_time(t), HOUR) / HOUR
+            workday = 1.0 if is_workday(t) else 0.0
+            hour = hour_of_day(t) / 23.0
+            row = np.array([current, average, changes, since_set, workday, hour])
+            row.flags.writeable = False  # shared across memo hits
+            if len(self._row_cache) >= _ROW_CACHE_MAX:
+                self._row_cache.clear()
+            self._row_cache[t] = row
+        return row
 
     def history_matrix(self, t: float) -> np.ndarray:
         """Feature matrix of the past 59 minutes, shape (59, 6).

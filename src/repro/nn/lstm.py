@@ -76,6 +76,38 @@ class _LSTMLayer(Module):
         self._cache = cache
         return outputs
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass without populating the BPTT cache.
+
+        Bitwise-identical to :meth:`forward` — the per-timestep math is
+        the same operations in the same order — but skips allocating
+        and filling the eight (batch, time, hidden) cache arrays, which
+        dominate inference cost.  ``backward`` cannot follow this.
+        """
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ValueError(
+                f"expected (batch, time, {self.input_size}), got {x.shape}"
+            )
+        batch, steps, _ = x.shape
+        H = self.hidden_size
+        h = np.zeros((batch, H))
+        c = np.zeros((batch, H))
+        outputs = np.empty((batch, steps, H))
+        W = self.weight.value
+        b = self.bias.value
+        for t in range(steps):
+            z = np.concatenate([x[:, t], h], axis=1)
+            gates = z @ W + b
+            i = _sigmoid(gates[:, :H])
+            f = _sigmoid(gates[:, H : 2 * H])
+            g = np.tanh(gates[:, 2 * H : 3 * H])
+            o = _sigmoid(gates[:, 3 * H :])
+            c = f * c + i * g
+            tanh_c = np.tanh(c)
+            h = o * tanh_c
+            outputs[:, t] = h
+        return outputs
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
@@ -153,6 +185,12 @@ class LSTM(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         for layer in self.layers:
             x = layer.forward(x)
+        return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Cache-free forward across the stack (see ``_LSTMLayer.infer``)."""
+        for layer in self.layers:
+            x = layer.infer(x)
         return x
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -96,3 +96,47 @@ class RevPredNetwork(Module):
     def predict_proba(self, history: np.ndarray, present: np.ndarray) -> np.ndarray:
         """Raw (uncalibrated) revocation probabilities, paper's P-hat."""
         return sigmoid(self.forward(history, present))
+
+    # ------------------------------------------------------------------
+    # Inference-only split evaluation
+    # ------------------------------------------------------------------
+    # The two branches touch disjoint inputs: the LSTM sees only the
+    # history window (which does not depend on the candidate max price),
+    # the FC branch only the present record.  Splitting them lets a
+    # caller evaluate the expensive LSTM branch once per (market, time)
+    # and amortise it over every max-price query at that time — the
+    # batched per-poll-tick scoring path.  Each method reproduces its
+    # slice of ``forward`` bitwise (same operations, same order).
+
+    def history_embedding(self, history: np.ndarray) -> np.ndarray:
+        """Final LSTM hidden state for a history batch, (B, lstm_hidden).
+
+        Cache-free: safe for inference only, ``backward`` cannot follow.
+        """
+        if history.ndim != 3 or history.shape[2] != self.history_features:
+            raise ValueError(
+                f"history must be (batch, {HISTORY_MINUTES}, "
+                f"{self.history_features}); got {history.shape}"
+            )
+        return self.lstm.infer(history)[:, -1, :]
+
+    def predict_proba_split(
+        self, history_embedding: np.ndarray, present: np.ndarray
+    ) -> np.ndarray:
+        """P-hat from a precomputed history embedding plus present rows."""
+        if present.ndim != 2 or present.shape[1] != self.present_features:
+            raise ValueError(
+                f"present must be (batch, {self.present_features}); got {present.shape}"
+            )
+        if history_embedding.shape[0] != present.shape[0]:
+            raise ValueError(
+                f"batch mismatch: embedding {history_embedding.shape[0]} "
+                f"vs present {present.shape[0]}"
+            )
+        present_embedding = self.present_mlp.forward(present)
+        combined = np.concatenate([history_embedding, present_embedding], axis=1)
+        return sigmoid(self.head.forward(combined).reshape(-1))
+
+    def infer_proba(self, history: np.ndarray, present: np.ndarray) -> np.ndarray:
+        """Inference-only ``predict_proba``: no BPTT cache allocation."""
+        return self.predict_proba_split(self.history_embedding(history), present)

@@ -16,7 +16,9 @@ Implementations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Iterable, Protocol
+
+import numpy as np
 
 from repro.cloud.instance import InstanceType
 from repro.market.dataset import SpotPriceDataset
@@ -24,6 +26,11 @@ from repro.market.features import FeatureExtractor
 from repro.market.labeling import will_be_revoked
 from repro.market.trace import HOUR
 from repro.revpred.calibration import OddsCorrection
+
+#: Memoised history embeddings per market predictor before the memo
+#: resets; each entry is a (1, lstm_hidden) float64 array, so even the
+#: cap costs only a few megabytes.
+_EMBEDDING_CACHE_MAX = 8192
 
 
 class RevocationPredictor(Protocol):
@@ -40,10 +47,40 @@ class MarketPredictor:
     model: object
     correction: OddsCorrection
     extractor: FeatureExtractor
+    #: History embeddings keyed by exact sample time.  RevPred's LSTM
+    #: branch sees only the history window — never the candidate max
+    #: price — so every max-price query at one time shares one
+    #: embedding.  Populated only for models exposing the split
+    #: inference API (``history_embedding``/``predict_proba_split``).
+    _embedding_cache: dict[float, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def probability(self, t: float, max_price: float) -> float:
-        history, present = self.extractor.window_sample(t, max_price)
-        p_hat = float(self.model.predict_proba(history[None], present[None])[0])
+        model = self.model
+        if hasattr(model, "predict_proba_split"):
+            # Two-branch split path: amortise the LSTM over every
+            # max-price query at this sample time.  Bitwise-identical
+            # to the full forward — the split evaluates the same
+            # operations in the same order, and a memo hit returns the
+            # identical embedding array.
+            embedding = self._embedding_cache.get(t)
+            if embedding is None:
+                history = self.extractor.history_matrix(t)
+                embedding = model.history_embedding(history[None])
+                if len(self._embedding_cache) >= _EMBEDDING_CACHE_MAX:
+                    self._embedding_cache.clear()
+                self._embedding_cache[t] = embedding
+            present = self.extractor.present_record(t, max_price).features
+            p_hat = float(model.predict_proba_split(embedding, present[None])[0])
+        elif hasattr(model, "infer_proba"):
+            # Single-stream models (Tributary): no price-independent
+            # prefix to memoise, but inference still skips BPTT caches.
+            history, present = self.extractor.window_sample(t, max_price)
+            p_hat = float(model.infer_proba(history[None], present[None])[0])
+        else:
+            history, present = self.extractor.window_sample(t, max_price)
+            p_hat = float(model.predict_proba(history[None], present[None])[0])
         return float(self.correction.apply(p_hat))
 
 
@@ -116,6 +153,25 @@ class CachingPredictor:
             quantised_time = (key[1] + 0.5) * self.time_quantum
             self._cache[key] = self.inner.probability(instance, quantised_time, max_price)
         return self._cache[key]
+
+    def probability_many(
+        self, queries: Iterable[tuple[InstanceType, float, float]]
+    ) -> list[float]:
+        """Score a poll tick's pending queries in one pass.
+
+        Equivalent to calling :meth:`probability` per query (each key's
+        value is a pure function of the key, so evaluation order cannot
+        change any result).  The batching is structural, not numeric:
+        all queries sharing a (market, time-bucket) reuse one memoised
+        history embedding, and only novel keys reach the model at all.
+        Cross-query matrix batching is deliberately *not* done — a
+        (B, F) GEMM is not bitwise-identical to B GEMV rows under
+        OpenBLAS, and the sweep guarantees byte-identical summaries.
+        """
+        return [
+            self.probability(instance, t, max_price)
+            for instance, t, max_price in queries
+        ]
 
     @property
     def cache_size(self) -> int:

@@ -146,3 +146,28 @@ def train_predictor_bank(
             extractor=FeatureExtractor(inference_dataset[name], instance.on_demand_price),
         )
     return PredictorBank(predictors)
+
+
+def untrained_predictor_bank(
+    dataset: SpotPriceDataset,
+    model_factory: Callable[[int], object] = default_revpred_factory,
+    seed: int = 0,
+    positive_fraction: float = 0.25,
+) -> PredictorBank:
+    """A bank of freshly-initialised (untrained) models over ``dataset``.
+
+    Random-init weights cost the same to query as trained ones, so this
+    is the standard way to exercise the full inference path — golden
+    byte-identity tests and the cell benchmarks — without paying for
+    training.  Construction mirrors :func:`train_predictor_bank`: one
+    model per market seeded ``seed + index`` in sorted market order.
+    """
+    predictors: dict[str, MarketPredictor] = {}
+    for index, name in enumerate(dataset.instance_types):
+        instance = get_instance_type(name)
+        predictors[name] = MarketPredictor(
+            model=model_factory(seed + index),
+            correction=OddsCorrection(positive_fraction),
+            extractor=FeatureExtractor(dataset[name], instance.on_demand_price),
+        )
+    return PredictorBank(predictors)

@@ -81,3 +81,18 @@ class TributaryNetwork(Module):
 
     def predict_proba(self, history: np.ndarray, present: np.ndarray) -> np.ndarray:
         return sigmoid(self.forward(history, present))
+
+    def infer_proba(self, history: np.ndarray, present: np.ndarray) -> np.ndarray:
+        """Inference-only ``predict_proba``: same math, no BPTT cache.
+
+        Unlike RevPred, the max price is broadcast into *every* record
+        of the single input stream, so there is no price-independent
+        prefix to precompute — the whole sequence re-runs per query.
+        """
+        if history.ndim != 3 or history.shape[2] != self.history_features:
+            raise ValueError(f"bad history shape: {history.shape}")
+        if present.ndim != 2 or present.shape[1] != self.present_features:
+            raise ValueError(f"bad present shape: {present.shape}")
+        sequence = self._pack_sequence(history, present)
+        outputs = self.lstm.infer(sequence)
+        return sigmoid(self.head.forward(outputs[:, -1, :]).reshape(-1))

@@ -32,7 +32,6 @@ import hashlib
 import json
 import os
 import shutil
-import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Mapping, Optional
@@ -42,7 +41,7 @@ from repro.market.features import FeatureExtractor
 from repro.nn.serialize import load_weights, save_weights
 from repro.revpred.calibration import OddsCorrection
 from repro.revpred.predictor import MarketPredictor, PredictorBank
-from repro.sweep.cache import canonical_json
+from repro.sweep.cache import canonical_json, mount_now
 
 #: Bump when the bank artifact layout or reconstruction logic changes;
 #: artifacts from other schemas are ignored, never trusted.
@@ -103,9 +102,11 @@ class BankCache:
 
     def _sweep_stale_tmp(self) -> None:
         """Remove temp artifact directories orphaned by writers killed
-        between assembly and rename.  Age-gated so a concurrent store's
-        in-flight temp is never pulled out from under it."""
-        cutoff = time.time() - _STALE_TMP_SECONDS
+        between assembly and rename.  Age-gated against the *mount's*
+        clock (:func:`repro.sweep.cache.mount_now`) so a concurrent
+        store's in-flight temp — possibly written by a host whose
+        clock trails this one's — is never pulled out from under it."""
+        cutoff = mount_now(self.root) - _STALE_TMP_SECONDS
         for tmp in self.root.glob("*.tmp*"):
             try:
                 if tmp.stat().st_mtime < cutoff:

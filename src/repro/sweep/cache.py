@@ -39,10 +39,43 @@ BANKS_SUBDIR = "banks"
 #: of the cache root is then the only "network" a worker fleet needs.
 QUEUE_SUBDIR = "queue"
 
+#: Subdirectory of a result-cache root holding one mmap-able market
+#: snapshot per seed (see :mod:`repro.market.snapshot`): the sweep
+#: parent writes each seed's price traces once, every worker — pool or
+#: distributed — memory-maps them instead of regenerating.
+MARKETS_SUBDIR = "markets"
+
 
 def canonical_json(payload: Any) -> str:
     """Deterministic JSON: sorted keys, compact separators."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def mount_now(directory: Path) -> float:
+    """The filesystem's idea of "now" in ``directory``: the mtime it
+    stamps on a fresh write.
+
+    Stale-tmp GC compares ages against mtimes that *other hosts'*
+    writes produced on a shared mount; judging them by the local wall
+    clock imports the full cross-host skew — a local clock running an
+    hour fast reaps a live writer's temp file mid-publish.  A probe
+    write samples the same clock domain the candidate mtimes came
+    from, so the comparison is skew-free.  Falls back to the local
+    clock when the probe cannot be written (read-only mount) — the
+    age gate then degrades to its old behaviour rather than failing.
+    """
+    probe = directory / f".clock-probe.{os.getpid()}"
+    try:
+        with open(probe, "w"):
+            pass
+        return probe.stat().st_mtime
+    except OSError:
+        return time.time()
+    finally:
+        try:
+            os.unlink(probe)
+        except OSError:
+            pass
 
 
 def fsync_write_text(path: Path, text: str, *, fsync: bool = True) -> None:
@@ -102,9 +135,11 @@ class SweepCache:
 
     def _sweep_stale_tmp(self) -> None:
         """Remove temp files orphaned by writers that were killed
-        between write and rename.  Age-gated so a concurrent sweep's
-        in-flight temp file is never pulled out from under it."""
-        cutoff = time.time() - _STALE_TMP_SECONDS
+        between write and rename.  Age-gated against the *mount's*
+        clock (:func:`mount_now`) so a concurrent sweep's in-flight
+        temp file is never pulled out from under it, even when this
+        host's wall clock runs ahead of the filesystem's."""
+        cutoff = mount_now(self.root) - _STALE_TMP_SECONDS
         for tmp in self.root.glob("*.json.tmp*"):
             try:
                 if tmp.stat().st_mtime < cutoff:
@@ -121,6 +156,11 @@ class SweepCache:
     def queue_root(self) -> Path:
         """Where the co-located distributed task queue lives."""
         return self.root / QUEUE_SUBDIR
+
+    @property
+    def markets_root(self) -> Path:
+        """Where the co-located per-seed market snapshots live."""
+        return self.root / MARKETS_SUBDIR
 
     def path_for(self, scenario: Scenario) -> Path:
         return self.root / f"{scenario.fingerprint()}.json"

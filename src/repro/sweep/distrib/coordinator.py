@@ -170,6 +170,24 @@ class DistributedSweepRunner:
         self.worker_restarts = 0
 
     # ------------------------------------------------------------------
+    def _write_market_snapshots(self, scenarios) -> None:
+        """Persist each seed's market dataset once for the whole fleet.
+
+        Mirrors ``SweepRunner.write_market_snapshots``: one snapshot per
+        seed under ``<cache>/markets/``, always the *default* dataset —
+        exactly what a worker would regenerate without one.
+        """
+        from repro.analysis.context import TOTAL_DAYS
+        from repro.market.dataset import generate_default_dataset
+        from repro.market.snapshot import save_market_snapshot
+        from repro.sweep.runner import market_snapshot_dir
+
+        for seed in sorted({int(s.seed) for s in scenarios}):
+            save_market_snapshot(
+                generate_default_dataset(seed=seed, days=TOTAL_DAYS),
+                market_snapshot_dir(self.cache.root, seed),
+            )
+
     def run(
         self,
         grid: Union[ScenarioGrid, Iterable[Scenario]],
@@ -311,6 +329,12 @@ class DistributedSweepRunner:
                 self.completion_records[name] = record
                 outstanding.discard(name)
                 emit(CellResult(scenario, summary, cached=True))
+
+        # Market snapshots land before the manifest publishes, so every
+        # worker that can see tasks can also see the mmap-able traces
+        # (workers fall back to regeneration if a snapshot is absent —
+        # same bytes either way, just slower).
+        self._write_market_snapshots(scenarios)
 
         queue.publish_manifest()
         failures: list[tuple[Scenario, str]] = []

@@ -91,13 +91,22 @@ class Lease:
 
         The re-queued task file carries the whole retry state: the
         attempt counter (already incremented by the claim), a
-        ``not_before`` stamp deferring the next claim, and a
+        ``defer_for`` backoff deferring the next claim, and a
         ``history`` entry recording what this attempt did — so the
         eventual quarantine ledger names every worker that tried, even
         across machines.  Task-write-then-lease-unlink ordering makes a
         crash in between recoverable: :meth:`TaskQueue.reclaim_expired`
         sees task *and* lease, and drops the stale lease rather than
         renaming it over the retry state.
+
+        ``defer_for`` is *relative*: claimers anchor it to the task
+        file's own mtime — the mount's clock, the same domain lease
+        expiry measures against — instead of trusting this host's wall
+        clock.  An absolute ``time.time() + delay`` stamp read on
+        another machine inherits the full cross-host skew: minutes fast
+        and the retry parks far past its backoff, minutes slow and it
+        releases instantly.  ``not_before`` is still written for
+        workers running the previous queue code.
         """
         payload = dict(self.payload)
         payload.pop("owner", None)
@@ -112,6 +121,7 @@ class Lease:
             }
         )
         payload["history"] = history
+        payload["defer_for"] = max(0.0, delay)
         payload["not_before"] = time.time() + max(0.0, delay)
         self.queue._write_atomic(self.queue.tasks_dir / self.name, payload)
         try:

@@ -426,7 +426,7 @@ class TaskQueue:
     def claim(self, owner: str) -> Optional[Lease]:
         """Claim the lowest-ranked *eligible* pending task, or ``None``.
 
-        A task re-queued by a failed attempt carries a ``not_before``
+        A task re-queued by a failed attempt carries a ``defer_for``
         backoff stamp; until it passes, the task is deferred — visible
         in :meth:`pending_names` but not claimable, so a poison cell
         backs off instead of hammering the fleet.  Losing a rename race
@@ -447,14 +447,32 @@ class TaskQueue:
     def _deferred(self, name: str, now: float) -> bool:
         """Whether ``name`` is still inside its retry backoff window.
 
+        The relative ``defer_for`` stamp is anchored to the task file's
+        own mtime — stamped by the mount when the retry was re-queued,
+        the same clock domain :meth:`_age_of` measures lease expiry in
+        — so the re-queueing host's wall clock never enters the
+        comparison.  The anchor clamps to ``now``: a future mtime (a
+        skewed mount clock) starts the window *here* rather than
+        extending it, so skew in either direction can only shorten the
+        wait, never park the retry past its backoff.  Legacy absolute
+        ``not_before`` stamps (older writers) are honoured but capped
+        at one full backoff cap past the same mtime anchor, bounding
+        the damage a fast writer clock can do.
+
         Advisory (the file may be claimed or rewritten mid-read):
         a read failure counts as claimable, and the worst a stale read
         costs is one slightly-early retry — the attempt *budget* is
         enforced by the claim counter, never by this timing.
         """
+        task = self.tasks_dir / name
         try:
-            payload = json.loads((self.tasks_dir / name).read_text())
-            return float(payload.get("not_before", 0.0)) > now
+            payload = json.loads(task.read_text())
+            anchor = min(os.stat(task).st_mtime, now)
+            defer_for = payload.get("defer_for")
+            if defer_for is not None:
+                return anchor + float(defer_for) > now
+            not_before = float(payload.get("not_before", 0.0))
+            return min(not_before, anchor + self.backoff_cap) > now
         except (OSError, ValueError, TypeError, AttributeError):
             return False
 

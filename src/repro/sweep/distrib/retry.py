@@ -5,8 +5,10 @@ Failure policy for the distributed sweep, in one place:
 * **Retry budget** — every task gets ``max_attempts`` executions
   (crashes and raised errors both consume attempts, since a crash's
   re-lease increments the same counter a retry does).
-* **Backoff** — a failed attempt re-queues its task with a
-  ``not_before`` stamp computed by :func:`backoff_delay`: exponential
+* **Backoff** — a failed attempt re-queues its task with a relative
+  ``defer_for`` stamp computed by :func:`backoff_delay` (anchored to
+  the task file's mtime at claim time, so cross-host clock skew never
+  stretches or collapses the window): exponential
   in the attempt number, capped, with *deterministic* jitter hashed
   from the task key — two workers retrying different tasks spread out,
   and a replayed sweep backs off identically.

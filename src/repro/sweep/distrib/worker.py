@@ -153,7 +153,7 @@ class SweepWorker:
 
     # ------------------------------------------------------------------
     def _run_cell(self, lease: Lease) -> None:
-        from repro.sweep.runner import run_scenario
+        from repro.sweep.runner import _snapshot_path_for, run_scenario
 
         if self.on_claim is not None:
             self.on_claim(lease)
@@ -190,7 +190,13 @@ class SweepWorker:
                     faults_mod.perform(
                         self.faults, "worker.cell.execute", lease.name
                     )
-                    summary = run_scenario(scenario, bank_cache=self.bank_cache)
+                    summary = run_scenario(
+                        scenario,
+                        bank_cache=self.bank_cache,
+                        dataset_path=_snapshot_path_for(
+                            str(self.cache.root), scenario.seed
+                        ),
+                    )
                 except Exception as exc:  # noqa: BLE001 — isolate sibling cells
                     error = f"{type(exc).__name__}: {exc}"
                     traceback_text = traceback_mod.format_exc()

@@ -61,7 +61,33 @@ _MAX_CACHED_CONTEXTS = 8
 _BANK_CACHE_UNSET = object()
 
 
-def _context_for(seed: int, scale: str, context=None, bank_cache=_BANK_CACHE_UNSET):
+def market_snapshot_dir(cache_root, seed: int):
+    """Where the mmap-able market snapshot for ``seed`` lives under a
+    result-cache root (see :mod:`repro.market.snapshot`), or ``None``
+    without a cache."""
+    if cache_root is None:
+        return None
+    from repro.sweep.cache import MARKETS_SUBDIR
+
+    return Path(cache_root) / MARKETS_SUBDIR / f"seed{int(seed)}"
+
+
+def _snapshot_path_for(cache_root, seed: int):
+    """The snapshot directory for ``seed`` if one is present on disk.
+
+    Cheap existence probe only — full validation (schema, arrays)
+    happens inside the context's loader, which falls back to
+    regenerating on any mismatch.
+    """
+    snapshot = market_snapshot_dir(cache_root, seed)
+    if snapshot is not None and (snapshot / "meta.json").is_file():
+        return str(snapshot)
+    return None
+
+
+def _context_for(
+    seed: int, scale: str, context=None, bank_cache=_BANK_CACHE_UNSET, dataset_path=None
+):
     """The process-local context for ``(seed, scale)``.
 
     A caller-supplied context is used (and memoised) when it matches,
@@ -77,6 +103,13 @@ def _context_for(seed: int, scale: str, context=None, bank_cache=_BANK_CACHE_UNS
     sweep in the same process.  A caller-supplied context keeps its
     own bank cache (only a missing one is filled in): it belongs to
     the caller, not the sweep.
+
+    ``dataset_path`` (a market-snapshot directory) only matters when a
+    fresh context is built here: it makes the new context memory-map
+    its dataset instead of regenerating.  Memoised and caller-supplied
+    contexts keep whatever dataset they already have — a snapshot
+    round-trips the generated data exactly, so the two are
+    interchangeable and the memo key stays ``(seed, scale)``.
     """
     key = (int(seed), scale)
     supplied = context is not None and (context.seed, context.scale) == key
@@ -89,6 +122,7 @@ def _context_for(seed: int, scale: str, context=None, bank_cache=_BANK_CACHE_UNS
             seed=int(seed),
             scale=scale,
             bank_cache=None if bank_cache is _BANK_CACHE_UNSET else bank_cache,
+            dataset_path=dataset_path,
         )
     _CONTEXT_CACHE[key] = _CONTEXT_CACHE.pop(key)  # mark most recent
     while len(_CONTEXT_CACHE) > _MAX_CACHED_CONTEXTS:
@@ -134,10 +168,12 @@ def summarize_run(result) -> dict:
 
 
 def run_scenario(
-    scenario: Scenario, context=None, bank_cache=_BANK_CACHE_UNSET
+    scenario: Scenario, context=None, bank_cache=_BANK_CACHE_UNSET, dataset_path=None
 ) -> dict:
     """Simulate one grid cell and return its summary dict."""
-    ctx = _context_for(scenario.seed, scenario.scale, context, bank_cache)
+    ctx = _context_for(
+        scenario.seed, scenario.scale, context, bank_cache, dataset_path=dataset_path
+    )
     if scenario.approach == "spottune":
         result = ctx.spottune_run(
             scenario.workload,
@@ -198,7 +234,13 @@ def _pool_run_cell(
     cache, bank_cache = _caches_for(cache_root, bank_root)
     trained_before = banks_mod.train_count()
     try:
-        summary = run_scenario(scenario, bank_cache=bank_cache)
+        summary = run_scenario(
+            scenario,
+            bank_cache=bank_cache,
+            # The parent wrote this seed's market snapshot before the
+            # pool started; mmap it instead of regenerating per worker.
+            dataset_path=_snapshot_path_for(cache_root, scenario.seed),
+        )
     except Exception as error:  # noqa: BLE001 — isolate sibling cells
         return (
             scenario.fingerprint(),
@@ -508,11 +550,36 @@ class SweepRunner:
     def _task_order(self, pending: list[Scenario]) -> list[Scenario]:
         return task_order(pending, self.jobs)
 
+    def write_market_snapshots(self, pending) -> None:
+        """Persist each pending seed's market dataset for the workers.
+
+        One snapshot per seed under ``<cache>/markets/``; workers
+        memory-map it (one page-cache copy per host) instead of every
+        worker regenerating every market.  Needs a cache; without one
+        the pool falls back to per-worker generation as before.
+        """
+        if self.cache is None or not pending:
+            return
+        from repro.analysis.context import TOTAL_DAYS
+        from repro.market.dataset import generate_default_dataset
+        from repro.market.snapshot import save_market_snapshot
+
+        for seed in sorted({int(s.seed) for s in pending}):
+            # Always the *default* dataset: pool workers have always
+            # built their own default contexts (a caller-supplied
+            # context is in-process only), and the snapshot must mirror
+            # exactly what a worker would have generated.
+            save_market_snapshot(
+                generate_default_dataset(seed=seed, days=TOTAL_DAYS),
+                market_snapshot_dir(self.cache.root, seed),
+            )
+
     def _run_pool(self, pending, emit, failures) -> None:
         # Prefer fork where available: workers inherit any context the
         # parent already built (dataset, trained banks) copy-on-write.
         # Contexts the parent never built are constructed inside the
         # workers, so distinct seeds build their markets concurrently.
+        self.write_market_snapshots(pending)
         if self._context is not None:
             _CONTEXT_CACHE.setdefault(
                 (self._context.seed, self._context.scale), self._context

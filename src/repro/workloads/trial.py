@@ -67,7 +67,14 @@ class Trial:
 
     @property
     def trial_id(self) -> str:
-        return f"{self.workload.name}[{config_id(self.config)}]"
+        # The id string is immutable but rebuilt-on-access would make
+        # it a hot allocation: the orchestrator reads it on every poll
+        # of every job.  Memoise the first render.
+        cached = self.__dict__.get("_trial_id")
+        if cached is None:
+            cached = f"{self.workload.name}[{config_id(self.config)}]"
+            self.__dict__["_trial_id"] = cached
+        return cached
 
     @property
     def max_trial_steps(self) -> int:
@@ -75,6 +82,14 @@ class Trial:
 
     def metric_at(self, step: int) -> float:
         return self.source.metric_at(step)
+
+    def metrics_at(self, steps):
+        """Bulk :meth:`metric_at` — vectorised when the source supports
+        it (simulated curves), a per-step loop otherwise."""
+        bulk = getattr(self.source, "metrics_at", None)
+        if bulk is not None:
+            return bulk(steps)
+        return [self.source.metric_at(step) for step in steps]
 
     def true_final(self) -> float:
         """Ground-truth final metric (simulated sources only)."""

@@ -224,3 +224,79 @@ class TestConstantPredictorDegeneration:
         assert isinstance(result, RunResult)
         for record in result.jobs.values():
             assert record.steps_completed == pytest.approx(700, abs=1)
+
+
+class TestNoticeDeadline:
+    """The revocation-notice checkpoint budget (Algorithm 1 line 22).
+
+    ``deadline = notice_time + TERMINATION_NOTICE_SECONDS - now`` can
+    reach zero — and goes *negative* if a poll ever lands past the
+    window — so ``_checkpoint`` must read a non-positive budget as
+    "the save cannot land", never as "no deadline".
+    """
+
+    def _deployed(self, dataset, lor_trials, poll_interval=10.0):
+        orchestrator = SpotTuneOrchestrator(
+            get_workload("LoR"),
+            lor_trials[:1],
+            dataset,
+            ConstantPredictor(0.0),
+            SpotTuneConfig(theta=0.7, seed=0, poll_interval=poll_interval),
+            start_time=START,
+        )
+        job = orchestrator._jobs[0]
+        orchestrator._deploy(job, START)
+        assert job.vm is not None
+        return orchestrator, job
+
+    def test_non_positive_deadline_fails_the_save(self, dataset, lor_trials):
+        orchestrator, job = self._deployed(dataset, lor_trials)
+        for deadline in (0.0, -30.0):
+            assert orchestrator._checkpoint(job, START + 60.0, deadline=deadline) is False
+        assert job.record.failed_checkpoints == 2
+        assert job.trial_id not in orchestrator.store  # nothing landed
+
+    def test_overshot_notice_window_rolls_back_not_saves(self, dataset, lor_trials):
+        # A poll lands 30s after the two-minute window closed (the
+        # poll_interval > notice window case): the deadline computes
+        # negative, the save must fail, and unsaved progress rolls
+        # back to the (empty) checkpoint.
+        from repro.cloud.provider import TERMINATION_NOTICE_SECONDS
+
+        orchestrator, job = self._deployed(dataset, lor_trials, poll_interval=150.0)
+        now = START + 300.0
+        orchestrator._sync_progress(job, now)
+        assert job.steps_done > 0.0
+        progressed = job.steps_done
+        job.vm.notice_pending = True
+        job.vm.notice_time = now - (TERMINATION_NOTICE_SECONDS + 30.0)
+        orchestrator._poll_job(job, now)
+        assert job.record.failed_checkpoints == 1
+        assert job.record.lost_steps == pytest.approx(progressed)
+        assert job.steps_done == 0.0
+        assert job.vm is None  # segment closed, job re-enters the queue
+        assert job.trial_id not in orchestrator.store
+
+    def test_overshooting_poll_interval_still_completes(self, dataset):
+        # End-to-end: with a poll interval wider than the notice
+        # window every notice is consumed late or the VM is already
+        # lost; the run must complete through rollbacks regardless.
+        workload = get_workload("LiR")
+        trials = make_trials(workload, seed=1)[:2]
+        pool = tuple(
+            instance
+            for instance in SpotTuneConfig().instance_pool
+            if instance.name == "r3.xlarge"
+        )
+        result = SpotTuneOrchestrator(
+            workload,
+            trials,
+            dataset,
+            OraclePredictor(dataset),
+            SpotTuneConfig(
+                theta=0.7, seed=0, poll_interval=150.0, instance_pool=pool
+            ),
+            start_time=START,
+        ).run()
+        for record in result.jobs.values():
+            assert record.steps_completed == pytest.approx(700, abs=1)

@@ -202,7 +202,7 @@ class TestSweepCommand:
 
         real = runner_mod.run_scenario
 
-        def boom(scenario, context=None, bank_cache=None):
+        def boom(scenario, context=None, bank_cache=None, dataset_path=None):
             if scenario.predictor == "constant":
                 raise RuntimeError("injected failure")
             return real(scenario, context, bank_cache)

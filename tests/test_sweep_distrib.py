@@ -71,7 +71,7 @@ def fake_run_scenario(monkeypatch):
     """Replace the simulation with an instant deterministic stub."""
     calls = []
 
-    def fake(scenario, context=None, bank_cache=None):
+    def fake(scenario, context=None, bank_cache=None, dataset_path=None):
         calls.append(scenario.fingerprint())
         return {"cost": scenario.theta, "label": scenario.label()}
 
@@ -484,7 +484,7 @@ class TestSweepWorker:
     def test_failing_cell_reported_without_aborting_siblings(
         self, tmp_path, monkeypatch
     ):
-        def boom(scenario, context=None, bank_cache=None):
+        def boom(scenario, context=None, bank_cache=None, dataset_path=None):
             if scenario.theta == 1.0:
                 raise RuntimeError("injected cell failure")
             return {"cost": scenario.theta}
@@ -611,7 +611,7 @@ class TestDistributedRunner:
         # same SweepCellError forever — and a rerun *without* --resume
         # re-executes the previously-succeeded cells too, exactly as
         # SweepRunner would, instead of replaying their done records.
-        def boom(scenario, context=None, bank_cache=None):
+        def boom(scenario, context=None, bank_cache=None, dataset_path=None):
             if scenario.theta == 1.0:
                 raise RuntimeError("injected cell failure")
             return {"cost": scenario.theta}
@@ -631,7 +631,7 @@ class TestDistributedRunner:
 
         retried: list = []
 
-        def fixed(scenario, context=None, bank_cache=None):
+        def fixed(scenario, context=None, bank_cache=None, dataset_path=None):
             retried.append(scenario.fingerprint())
             return {"cost": scenario.theta}
 
@@ -653,7 +653,7 @@ class TestDistributedRunner:
         # replay the stale record and fail again having done nothing.
         import json
 
-        def boom(scenario, context=None, bank_cache=None):
+        def boom(scenario, context=None, bank_cache=None, dataset_path=None):
             if scenario.theta == 1.0:
                 raise RuntimeError("injected cell failure")
             return {"cost": scenario.theta}
@@ -682,7 +682,7 @@ class TestDistributedRunner:
         monkeypatch.setattr(
             runner_mod,
             "run_scenario",
-            lambda s, context=None, bank_cache=None: {"cost": s.theta},
+            lambda s, context=None, bank_cache=None, dataset_path=None: {"cost": s.theta},
         )
         again = DistributedSweepRunner(
             cache=tmp_path / "cells", jobs=0, poll_interval=0.01
@@ -704,7 +704,7 @@ class TestDistributedRunner:
         # An ok=True record is only as good as its cache entry: if the
         # summary is gone, a rerun (resume or not) re-executes the cell
         # instead of failing 'completed cell missing' forever.
-        def boom(scenario, context=None, bank_cache=None):
+        def boom(scenario, context=None, bank_cache=None, dataset_path=None):
             if scenario.theta == 1.0:
                 raise RuntimeError("injected cell failure")
             return {"cost": scenario.theta}
@@ -727,7 +727,7 @@ class TestDistributedRunner:
         monkeypatch.setattr(
             runner_mod,
             "run_scenario",
-            lambda s, context=None, bank_cache=None: {"cost": s.theta},
+            lambda s, context=None, bank_cache=None, dataset_path=None: {"cost": s.theta},
         )
         again = DistributedSweepRunner(cache=cache, jobs=0, poll_interval=0.01)
         result = self._run_with_late_worker(again, grid)
@@ -849,7 +849,7 @@ class TestDistributedRunner:
     def test_worker_failure_surfaces_as_sweep_cell_error(
         self, tmp_path, monkeypatch
     ):
-        def boom(scenario, context=None, bank_cache=None):
+        def boom(scenario, context=None, bank_cache=None, dataset_path=None):
             raise RuntimeError("injected cell failure")
 
         monkeypatch.setattr(runner_mod, "run_scenario", boom)

@@ -65,7 +65,7 @@ def make_queue(tmp_path, cells=None, lease_ttl=60.0, **policy) -> TaskQueue:
 def fake_run_scenario(monkeypatch):
     calls = []
 
-    def fake(scenario, context=None, bank_cache=None):
+    def fake(scenario, context=None, bank_cache=None, dataset_path=None):
         calls.append(scenario.fingerprint())
         return {"cost": scenario.theta, "label": scenario.label()}
 
@@ -234,7 +234,7 @@ class TestRetryAndQuarantine:
     ):
         executions = []
 
-        def boom(scenario, context=None, bank_cache=None):
+        def boom(scenario, context=None, bank_cache=None, dataset_path=None):
             if scenario.theta == 1.0:
                 executions.append(scenario.fingerprint())
                 raise RuntimeError("deterministic poison")
@@ -505,7 +505,7 @@ class TestGracefulDegradation:
     def test_partial_result_byte_identical_to_serial_on_surviving_cells(
         self, tmp_path, monkeypatch
     ):
-        def sim(scenario, context=None, bank_cache=None):
+        def sim(scenario, context=None, bank_cache=None, dataset_path=None):
             if scenario.theta == 1.0:
                 raise RuntimeError("deterministic poison")
             return {"cost": scenario.theta, "label": scenario.label()}
@@ -552,7 +552,7 @@ class TestGracefulDegradation:
     def test_fail_fast_aborts_with_cells_still_outstanding(
         self, tmp_path, monkeypatch
     ):
-        def boom(scenario, context=None, bank_cache=None):
+        def boom(scenario, context=None, bank_cache=None, dataset_path=None):
             raise RuntimeError("deterministic poison")
 
         monkeypatch.setattr(runner_mod, "run_scenario", boom)
@@ -578,7 +578,7 @@ class TestGracefulDegradation:
     def test_quarantine_survives_for_resume_and_clears_on_reopen(
         self, tmp_path, monkeypatch
     ):
-        def boom(scenario, context=None, bank_cache=None):
+        def boom(scenario, context=None, bank_cache=None, dataset_path=None):
             if scenario.theta == 1.0:
                 raise RuntimeError("deterministic poison")
             return {"cost": scenario.theta}
@@ -605,7 +605,7 @@ class TestGracefulDegradation:
         monkeypatch.setattr(
             runner_mod,
             "run_scenario",
-            lambda s, context=None, bank_cache=None: {"cost": s.theta},
+            lambda s, context=None, bank_cache=None, dataset_path=None: {"cost": s.theta},
         )
         again = DistributedSweepRunner(
             cache=tmp_path / "cells", jobs=0, poll_interval=0.01, resume=True

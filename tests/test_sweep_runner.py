@@ -254,7 +254,7 @@ class TestFailureIsolation:
     def failing_run_scenario(self, monkeypatch):
         real = runner_mod.run_scenario
 
-        def boom(scenario, context=None, bank_cache=None):
+        def boom(scenario, context=None, bank_cache=None, dataset_path=None):
             if scenario.theta == 1.0:
                 raise RuntimeError("injected cell failure")
             return real(scenario, context, bank_cache)
