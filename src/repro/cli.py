@@ -29,6 +29,11 @@ Commands:
   persist summaries to the sweep's cache, repeat until the sweep is
   complete.  SIGKILLing a worker mid-cell only delays that cell by one
   lease TTL; a survivor re-leases and re-runs it.
+* ``lint [--rule NAME ...] [--format json] [--update-baseline]`` —
+  run the repo's AST-based invariant checker (determinism, durability,
+  byte-identity contracts; see README "Static analysis").  Exits 1 on
+  any finding not in the committed baseline, so CI and pre-commit can
+  gate on it.
 """
 
 from __future__ import annotations
@@ -463,6 +468,74 @@ def _run_sweep_worker(args: argparse.Namespace) -> int:
     return 1 if worker.failed else 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    from repro.lint import LintError, all_rules, run_lint
+    from repro.lint.baseline import BASELINE_NAME, Baseline
+    from repro.lint.rules.frozen import pin_frozen
+
+    if args.list_rules:
+        for name, rule in all_rules().items():
+            print(f"{name}: {rule.description}")
+        return 0
+    root = Path(args.root)
+    if args.pin_frozen:
+        try:
+            path = pin_frozen(root)
+        except OSError as error:
+            print(f"cannot pin frozen references: {error}", file=sys.stderr)
+            return 2
+        print(f"pinned frozen reference hashes: {path}")
+        return 0
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / BASELINE_NAME
+    )
+    try:
+        findings = run_lint(root, rule_names=args.rule)
+        baseline = Baseline.load(baseline_path)
+    except (LintError, ValueError) as error:
+        print(f"lint failed: {error}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        Baseline.write(baseline_path, findings)
+        print(
+            f"baseline updated: {baseline_path} ({len(findings)} finding(s); "
+            "fill in each entry's justification, or better, fix it)"
+        )
+        return 0
+    fresh, grandfathered = baseline.partition(findings)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "root": str(root),
+                    "rules": sorted(args.rule) if args.rule else sorted(all_rules()),
+                    "findings": [f.to_dict() for f in fresh],
+                    "baselined": [f.to_dict() for f in grandfathered],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 1 if fresh else 0
+    for finding in fresh:
+        print(finding.render())
+    if fresh:
+        print(
+            f"\n{len(fresh)} finding(s) "
+            f"({len(grandfathered)} baselined); fix them, suppress with "
+            "`# repro-lint: ignore[rule] <why>`, or grandfather with "
+            "--update-baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"lint clean: {len(grandfathered)} baselined finding(s), "
+        f"{len(findings)} total" if grandfathered else "lint clean"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SpotTune reproduction command-line interface"
@@ -591,6 +664,39 @@ def build_parser() -> argparse.ArgumentParser:
         "the queue's fault-state/ dir so one plan governs the whole fleet",
     )
     worker.set_defaults(func=_run_sweep_worker)
+
+    lint = sub.add_parser(
+        "lint", help="run the AST-based invariant checker over the repo"
+    )
+    lint.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="repository checkout to lint (default: current directory)",
+    )
+    lint.add_argument(
+        "--rule", action="append", metavar="NAME",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: %(default)s)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline file (default: <root>/lint-baseline.json)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="grandfather the current findings into the baseline and exit 0",
+    )
+    lint.add_argument(
+        "--pin-frozen", action="store_true",
+        help="re-record the frozen references' content hashes (only after "
+        "a deliberate golden regeneration)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    lint.set_defaults(func=_run_lint)
     return parser
 
 

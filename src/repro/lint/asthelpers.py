@@ -1,0 +1,98 @@
+"""Shared AST plumbing for the lint rules.
+
+The rules care about *what module-level thing* an expression refers
+to, not what the file locally calls it — ``time.time``, ``import time
+as t; t.time`` and ``from time import time; time()`` are the same
+wall-clock read.  :class:`ImportMap` records a module's import
+aliases, and :func:`resolve_dotted` folds an attribute chain through
+them into a canonical dotted name (``"time.time"``,
+``"numpy.random.default_rng"``), returning ``None`` for anything
+rooted in a local variable — so ``rng.random(...)`` on a local
+generator never false-positives against the stdlib ``random`` module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+
+class ImportMap:
+    """Local name → canonical dotted origin, from a module's imports."""
+
+    def __init__(self, module: ast.Module) -> None:
+        self._names: dict[str, str] = {}
+        for node in ast.walk(module):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    # ``import a.b`` binds ``a``; ``import a.b as c``
+                    # binds ``c`` to the full dotted path.
+                    origin = alias.name if alias.asname else local
+                    self._names[local] = origin
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay package-local
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._names[local] = f"{node.module}.{alias.name}"
+
+    def origin(self, name: str) -> Optional[str]:
+        return self._names.get(name)
+
+
+def resolve_dotted(node: ast.expr, imports: ImportMap) -> Optional[str]:
+    """Canonical dotted name of an attribute chain, or ``None``.
+
+    Walks ``a.b.c`` down to its root :class:`ast.Name` and substitutes
+    the root through ``imports``; any other chain root (a call result,
+    a subscript, ``self``) resolves to ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    origin = imports.origin(node.id)
+    if origin is None:
+        return None
+    parts.append(origin)
+    return ".".join(reversed(parts))
+
+
+def walk_with_function(
+    module: ast.Module,
+) -> Iterator[tuple[ast.AST, Optional[str]]]:
+    """Yield ``(node, enclosing_function_name)`` over a whole module.
+
+    The durable-publish rule exempts the sanctioned helper *by
+    function name*; plain ``ast.walk`` loses that context, so this
+    walker threads the nearest enclosing ``def`` through.
+    """
+
+    def visit(node: ast.AST, function: Optional[str]) -> Iterator[tuple]:
+        yield node, function
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            function = node.name
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, function)
+
+    yield from visit(module, None)
+
+
+def call_mode(call: ast.Call) -> Optional[str]:
+    """The literal file mode of an ``open(...)`` call, if statically
+    known: second positional argument or ``mode=`` keyword, ``"r"``
+    when omitted, ``None`` when it is a runtime expression."""
+    mode_node: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if mode_node is None:
+        return "r"
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        return mode_node.value
+    return None

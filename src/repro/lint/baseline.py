@@ -1,0 +1,110 @@
+"""Committed grandfather file for known lint findings.
+
+A new rule should be able to land *before* every legacy violation it
+surfaces is fixed — otherwise rules arrive pre-weakened, scoped around
+the existing mess.  The baseline is the explicit, reviewable ledger of
+that debt: a JSON file at the repo root listing findings that are
+known, tolerated, and ideally justified.  ``repro lint`` fails only on
+findings *not* in the baseline, and ``--update-baseline`` rewrites the
+file from the current run (entries for fixed findings drop out, so the
+debt can only shrink without a reviewer seeing it grow).
+
+Matching is by the finding's line-free :attr:`Finding.baseline_key`
+(rule, path, message) with multiset semantics: a baseline entry
+absorbs at most ``count`` occurrences, so a *second* identical
+violation in the same file is still a fresh finding.
+
+This repo's checked-in baseline is empty — every finding the six rules
+surface has been either fixed or suppressed in-line with a
+justification — and the CI lint job keeps it that way.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: Default baseline location, relative to the linted root.
+BASELINE_NAME = "lint-baseline.json"
+
+
+class Baseline:
+    """The parsed baseline: a multiset of grandfathered finding keys."""
+
+    def __init__(self, entries: List[dict]) -> None:
+        self.entries = entries
+        self._counts: Counter = Counter()
+        for entry in entries:
+            key = (entry["rule"], entry["path"], entry["message"])
+            self._counts[key] += int(entry.get("count", 1))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline,
+        anything unparseable or from another schema is an error (a
+        silently-ignored baseline would un-grandfather everything and
+        fail CI confusingly)."""
+        path = Path(path)
+        if not path.exists():
+            return cls([])
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ValueError(f"cannot read baseline {path}: {error}")
+        if payload.get("schema") != BASELINE_SCHEMA_VERSION:
+            raise ValueError(
+                f"baseline {path} has schema {payload.get('schema')!r}, "
+                f"expected {BASELINE_SCHEMA_VERSION}"
+            )
+        entries = payload.get("findings", [])
+        if not isinstance(entries, list) or not all(
+            isinstance(e, dict) and {"rule", "path", "message"} <= set(e)
+            for e in entries
+        ):
+            raise ValueError(
+                f"baseline {path} entries need rule/path/message fields"
+            )
+        return cls(entries)
+
+    def partition(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split ``findings`` into (fresh, grandfathered)."""
+        remaining = Counter(self._counts)
+        fresh: List[Finding] = []
+        matched: List[Finding] = []
+        for finding in findings:
+            if remaining.get(finding.baseline_key, 0) > 0:
+                remaining[finding.baseline_key] -= 1
+                matched.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, matched
+
+    @staticmethod
+    def write(path: str | Path, findings: List[Finding]) -> None:
+        """Record ``findings`` as the new baseline.
+
+        Each entry gets an empty ``justification`` field on first
+        record — review convention is to fill it in (or better, fix
+        the finding) before merging.
+        """
+        payload = {
+            "schema": BASELINE_SCHEMA_VERSION,
+            "findings": [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "message": finding.message,
+                    "justification": "",
+                }
+                for finding in sorted(findings)
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,45 @@
+"""The unit of lint output: one rule violation at one source location.
+
+A finding's identity deliberately has two grains.  The *display* form
+carries the line number so an editor can jump to it; the *baseline
+key* drops the line number, because a grandfathered finding must keep
+matching its baseline entry while unrelated edits shift the file
+around it.  Two identical violations in one file share a baseline key
+and are matched by count (see :mod:`repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: where it is and what contract it breaks."""
+
+    #: Path relative to the linted root, POSIX separators — stable
+    #: across machines, so baselines and JSON output are portable.
+    path: str
+    #: 1-based source line of the offending node.
+    line: int
+    #: Registered rule name (``no-wallclock-in-sim``, ...).
+    rule: str
+    #: Human-oriented statement of the violation and the fix.
+    message: str
+
+    @property
+    def baseline_key(self) -> tuple:
+        """Line-number-free identity used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line: [rule] message``."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"

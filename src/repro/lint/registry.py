@@ -1,0 +1,64 @@
+"""Rule base class and the name-keyed rule registry.
+
+A rule is a small object with a unique :attr:`Rule.name`, a one-line
+:attr:`Rule.description`, and a :meth:`Rule.check` that walks a
+:class:`~repro.lint.engine.LintTree` and yields
+:class:`~repro.lint.findings.Finding` objects.  Rules register
+themselves with the :func:`register` decorator at import time;
+importing :mod:`repro.lint.rules` pulls every built-in rule module in,
+so :func:`all_rules` is the complete set without a hand-maintained
+list.
+
+Rules receive the whole tree, not one file at a time, because two of
+the six contracts are inherently cross-file: the frozen-reference rule
+compares files against a pin recorded elsewhere, and the fault-site
+rule reconciles a declared registry with its call sites.  Per-file
+rules simply iterate ``tree.py_files()`` themselves (parsed ASTs are
+cached on the tree, so N rules share one parse).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Type
+
+from repro.lint.findings import Finding
+
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    #: Unique kebab-case identifier; what suppression comments and
+    #: ``--rule`` select on.
+    name: str = ""
+    #: One-line summary shown by ``repro lint --list-rules``.
+    description: str = ""
+
+    def check(self, tree) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, message: str) -> Finding:
+        return Finding(path=path, line=int(line), rule=self.name, message=message)
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add ``cls`` to the registry under its name."""
+    if not cls.name:
+        raise ValueError(f"rule {cls!r} has no name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Rule]:
+    """Fresh instances of every registered rule, name-keyed.
+
+    Importing :mod:`repro.lint.rules` here (not at module import)
+    avoids a cycle: rule modules import :func:`register` from this
+    module.
+    """
+    import repro.lint.rules  # noqa: F401  (registers the built-ins)
+
+    return {name: cls() for name, cls in sorted(_REGISTRY.items())}

@@ -1,0 +1,24 @@
+"""Built-in lint rules; importing this package registers them all.
+
+One module per contract:
+
+========================  ============================================
+rule                      module
+========================  ============================================
+``frozen-reference``      :mod:`repro.lint.rules.frozen`
+``no-wallclock-in-sim``   :mod:`repro.lint.rules.wallclock`
+``no-unseeded-rng``       :mod:`repro.lint.rules.rng`
+``durable-publish``       :mod:`repro.lint.rules.durable`
+``no-absolute-deadline``  :mod:`repro.lint.rules.deadline`
+``fault-site-registry``   :mod:`repro.lint.rules.faultsites`
+========================  ============================================
+"""
+
+from repro.lint.rules import (  # noqa: F401  (import = register)
+    deadline,
+    durable,
+    faultsites,
+    frozen,
+    rng,
+    wallclock,
+)

@@ -1,0 +1,121 @@
+"""``fault-site-registry``: injection sites and their registry agree.
+
+The chaos plane (PR 6) threads named injection sites through the
+queue/lease/worker/cache code; a :class:`FaultPlan` refuses unknown
+site names at load time precisely so a typo cannot make a rehearsal
+silently test nothing.  That guard has a blind spot: the *code's* side
+of the contract.  A new ``perform(plan, "queue.lease.drop", ...)``
+call site whose name never gets added to ``SITES`` is unreachable
+from every plan, and a site left in ``SITES`` after its call site is
+refactored away lets plans name an injection that can never fire.
+This rule closes the loop both ways by reconciling the declared
+``SITES`` tuple in ``sweep/distrib/faults.py`` against every
+string-literal site passed to a ``perform(...)`` call in the package.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.lint.registry import Rule, register
+
+FAULTS_FILE = "src/repro/sweep/distrib/faults.py"
+
+#: What a site name looks like: dotted lowercase words.  Filters the
+#: site argument out of a ``perform``-call's other string literals
+#: (keys, messages) without hard-coding argument positions for the
+#: module-level helper vs. the bound method.
+_SITE_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+def _declared_sites(module: ast.Module) -> Optional[tuple[list[str], int]]:
+    """The ``SITES = ("...", ...)`` tuple and its line, if present."""
+    for node in module.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == "SITES"
+            for target in node.targets
+        ):
+            continue
+        if not isinstance(node.value, (ast.Tuple, ast.List)):
+            return None
+        sites = [
+            element.value
+            for element in node.value.elts
+            if isinstance(element, ast.Constant) and isinstance(element.value, str)
+        ]
+        return sites, node.lineno
+    return None
+
+
+def _site_argument(call: ast.Call) -> Optional[ast.Constant]:
+    """The first positional string literal shaped like a site name."""
+    for arg in call.args:
+        if (
+            isinstance(arg, ast.Constant)
+            and isinstance(arg.value, str)
+            and _SITE_RE.match(arg.value)
+        ):
+            return arg
+    return None
+
+
+@register
+class FaultSiteRule(Rule):
+    name = "fault-site-registry"
+    description = (
+        "every FaultPlan site used at a perform() injection point "
+        "exists in faults.SITES, and every declared site is used"
+    )
+
+    def check(self, tree) -> Iterator:
+        if not tree.exists(FAULTS_FILE):
+            return  # no chaos plane in this tree (fixture roots)
+        declared = _declared_sites(tree.tree(FAULTS_FILE))
+        if declared is None:
+            yield self.finding(
+                FAULTS_FILE,
+                1,
+                "cannot find the literal SITES tuple; the fault-site "
+                "registry must stay statically readable",
+            )
+            return
+        sites, sites_line = declared
+        used: set[str] = set()
+        for rel in tree.py_files():
+            if rel == FAULTS_FILE:
+                continue  # the registry module passes sites as variables
+            for node in ast.walk(tree.tree(rel)):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                is_perform = (
+                    isinstance(func, ast.Name) and func.id == "perform"
+                ) or (isinstance(func, ast.Attribute) and func.attr == "perform")
+                if not is_perform:
+                    continue
+                site = _site_argument(node)
+                if site is None:
+                    continue
+                used.add(site.value)
+                if site.value not in sites:
+                    yield self.finding(
+                        rel,
+                        site.lineno,
+                        f"injection site {site.value!r} is not declared in "
+                        f"faults.SITES — every FaultPlan would refuse it, "
+                        "so this site can never fire; add it to the "
+                        "registry (and the docs table)",
+                    )
+        for site in sites:
+            if site not in used:
+                yield self.finding(
+                    FAULTS_FILE,
+                    sites_line,
+                    f"declared fault site {site!r} has no perform() call "
+                    "site — plans can name an injection that never "
+                    "fires; remove it from SITES or wire it in",
+                )

@@ -1,0 +1,129 @@
+"""``frozen-reference``: the frozen implementations cannot drift.
+
+``repro/core/reference.py`` and ``repro/market/reference.py`` hold the
+pre-optimisation code verbatim; the golden files were recorded from
+them and the live implementations are pinned bitwise against those
+goldens.  Their entire value is that they never change — an "innocent"
+edit to a reference silently re-derives the goldens' meaning and the
+byte-identity regression tests stop testing anything.
+
+The contract is made mechanical with a pin file committed next to the
+goldens (:data:`PIN_FILE`): the SHA-256 of each frozen file's exact
+bytes.  Editing a freeze without re-recording the goldens *and*
+re-pinning is a lint error, not a silent drift.  When a regeneration
+is deliberate, re-record the goldens first, then run ``repro lint
+--pin-frozen`` to update the hashes (README "Static analysis" walks
+through it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.lint.registry import Rule, register
+
+#: Pin file, root-relative — next to the golden summaries it travels
+#: with, so one directory carries both the expectation and its seal.
+PIN_FILE = "tests/data/frozen_reference_hashes.json"
+
+PIN_SCHEMA_VERSION = 1
+
+#: The freezes ``--pin-frozen`` records (the pin file itself then
+#: names what the rule checks, so fixture trees can pin other files).
+DEFAULT_FROZEN = (
+    "src/repro/core/reference.py",
+    "src/repro/market/reference.py",
+)
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def pin_frozen(root: str | Path) -> Path:
+    """(Re-)record the frozen files' content hashes.  Returns the pin
+    path.  Only for deliberate golden regenerations — the lint error
+    this silences exists to make you re-record the goldens first."""
+    root = Path(root)
+    files = {
+        rel: _sha256((root / rel).read_bytes())
+        for rel in DEFAULT_FROZEN
+        if (root / rel).is_file()
+    }
+    payload = {
+        "schema": PIN_SCHEMA_VERSION,
+        "note": (
+            "SHA-256 of each frozen reference implementation's exact "
+            "bytes. The goldens in this directory were recorded from "
+            "these files; repro lint (frozen-reference) fails when a "
+            "freeze is edited without re-recording goldens and "
+            "re-pinning via `repro lint --pin-frozen`."
+        ),
+        "files": files,
+    }
+    path = root / PIN_FILE
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@register
+class FrozenReferenceRule(Rule):
+    name = "frozen-reference"
+    description = (
+        "frozen reference implementations must match the content "
+        "hashes pinned next to the golden files"
+    )
+
+    def check(self, tree) -> Iterator:
+        pin_path = Path(tree.root) / PIN_FILE
+        if not pin_path.exists():
+            # No pin recorded: only a finding when there is something
+            # to protect (fixture trees for other rules have neither).
+            for rel in DEFAULT_FROZEN:
+                if tree.exists(rel):
+                    yield self.finding(
+                        rel,
+                        1,
+                        f"frozen reference has no pinned hash ({PIN_FILE} "
+                        "is missing); record it with `repro lint "
+                        "--pin-frozen`",
+                    )
+            return
+        try:
+            payload = json.loads(pin_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            yield self.finding(
+                PIN_FILE, 1, f"unreadable frozen-reference pin file: {error}"
+            )
+            return
+        if payload.get("schema") != PIN_SCHEMA_VERSION:
+            yield self.finding(
+                PIN_FILE,
+                1,
+                f"pin file schema {payload.get('schema')!r} != "
+                f"{PIN_SCHEMA_VERSION}",
+            )
+            return
+        for rel, pinned in sorted(payload.get("files", {}).items()):
+            if not tree.exists(rel):
+                yield self.finding(
+                    rel,
+                    1,
+                    "pinned frozen reference is missing from the tree "
+                    f"(recorded in {PIN_FILE})",
+                )
+                continue
+            actual = _sha256(tree.read_bytes(rel))
+            if actual != pinned:
+                yield self.finding(
+                    rel,
+                    1,
+                    f"content hash {actual[:12]} != pinned {pinned[:12]}: "
+                    "frozen references change only with a deliberate "
+                    "golden regeneration — re-record the goldens, then "
+                    "`repro lint --pin-frozen`",
+                )

@@ -1,0 +1,74 @@
+"""``no-unseeded-rng``: every generator in the package is seeded.
+
+Determinism is the repo's load-bearing wall: RNG streams derive from
+explicit seeds (:mod:`repro.sim.rng`), and the only sanctioned
+fallback construction site is
+:func:`repro.nn.module.default_rng`.  Two spellings smuggle
+nondeterminism past that discipline:
+
+* ``np.random.default_rng()`` with no seed — OS entropy, different
+  every process;
+* the stdlib ``random`` module's *module-level* functions
+  (``random.random()``, ``random.shuffle(...)``) — one hidden global
+  generator whose state depends on import order and everything else
+  that touched it.
+
+Both are findings anywhere under ``src/repro`` (tests live outside the
+lint scope and may do as they please).  A seeded
+``np.random.default_rng(seed)`` and an explicitly constructed
+``random.Random(seed)`` instance remain fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import ImportMap, resolve_dotted
+from repro.lint.registry import Rule, register
+
+#: Stdlib ``random`` attributes that are *not* the hidden global
+#: generator: constructing an explicit (seedable) instance is fine.
+_RANDOM_OK = {"random.Random", "random.SystemRandom"}
+
+
+@register
+class UnseededRngRule(Rule):
+    name = "no-unseeded-rng"
+    description = (
+        "no np.random.default_rng() without a seed and no module-level "
+        "random.* calls outside tests/"
+    )
+
+    def check(self, tree) -> Iterator:
+        for rel in tree.py_files():
+            module = tree.tree(rel)
+            imports = ImportMap(module)
+            for node in ast.walk(module):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = resolve_dotted(node.func, imports)
+                if dotted is None:
+                    continue
+                if dotted == "numpy.random.default_rng":
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            rel,
+                            node.lineno,
+                            "np.random.default_rng() without a seed draws "
+                            "OS entropy; pass a seed, or use "
+                            "repro.nn.module.default_rng() for the "
+                            "sanctioned seeded fallback",
+                        )
+                elif (
+                    dotted.startswith("random.")
+                    and dotted.count(".") == 1
+                    and dotted not in _RANDOM_OK
+                ):
+                    yield self.finding(
+                        rel,
+                        node.lineno,
+                        f"{dotted}() uses the process-global stdlib "
+                        "generator (import-order-dependent state); "
+                        "construct a seeded Generator instead",
+                    )

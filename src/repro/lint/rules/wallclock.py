@@ -1,0 +1,77 @@
+"""``no-wallclock-in-sim``: simulated code never reads the wall clock.
+
+The byte-identity contract — serial, pooled, distributed and resumed
+sweeps produce bit-identical results — only holds because everything
+inside the simulation derives time from :mod:`repro.sim.clock` and the
+event queue.  One ``time.time()`` in a metric observation or a
+``datetime.now()`` in a feature extractor and two runs of the same
+cell diverge by wall-clock luck.  This rule bans wall-clock reads in
+every simulated package; orchestration code (``sweep/``, the CLI) may
+still measure real elapsed time, which is why the scope is a package
+list and not the whole tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import ImportMap, resolve_dotted
+from repro.lint.registry import Rule, register
+
+#: Packages whose code runs inside the simulation contract.
+SIM_SCOPES = (
+    "src/repro/sim/",
+    "src/repro/core/",
+    "src/repro/market/",
+    "src/repro/earlycurve/",
+    "src/repro/revpred/",
+    "src/repro/workloads/",
+)
+
+#: Canonical dotted names that read the host clock.
+BANNED = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register
+class WallclockRule(Rule):
+    name = "no-wallclock-in-sim"
+    description = (
+        "sim/core/market/earlycurve/revpred/workloads code must take "
+        "time from sim.clock, never the host wall clock"
+    )
+
+    def check(self, tree) -> Iterator:
+        for rel in tree.py_files():
+            if not rel.startswith(SIM_SCOPES):
+                continue
+            module = tree.tree(rel)
+            imports = ImportMap(module)
+            for node in ast.walk(module):
+                # Bare references are banned too, not just calls:
+                # passing ``time.time`` as a clock callback smuggles
+                # the wall clock in just as effectively.  Name nodes
+                # catch the ``from time import time`` spelling.
+                if not isinstance(node, (ast.Attribute, ast.Name)):
+                    continue
+                dotted = resolve_dotted(node, imports)
+                if dotted in BANNED:
+                    yield self.finding(
+                        rel,
+                        node.lineno,
+                        f"{dotted} reads the host clock; simulated time "
+                        "comes from repro.sim.clock (byte-identity would "
+                        "break across runs and transports)",
+                    )

@@ -23,7 +23,7 @@ from repro.nn.gradcheck import gradient_check
 from repro.nn.linear import Linear
 from repro.nn.losses import BinaryCrossEntropy, sigmoid
 from repro.nn.lstm import LSTM
-from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.module import Module, Parameter, Sequential, default_rng
 from repro.nn.optim import SGD, Adam
 from repro.nn.serialize import load_weights, save_weights
 
@@ -39,6 +39,7 @@ __all__ = [
     "Module",
     "Parameter",
     "Sequential",
+    "default_rng",
     "SGD",
     "Adam",
     "load_weights",

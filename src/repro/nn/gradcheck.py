@@ -11,7 +11,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.nn.module import Parameter
+from repro.nn.module import Parameter, default_rng
 
 
 def gradient_check(
@@ -37,7 +37,7 @@ def gradient_check(
         The maximum relative error across all checked entries, where
         relative error is |analytic - numeric| / max(1, |a|, |n|).
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else default_rng()
     worst = 0.0
     for parameter in parameters:
         flat_value = parameter.value.reshape(-1)

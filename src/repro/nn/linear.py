@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.module import Module
+from repro.nn.module import Module, default_rng
 
 
 class Linear(Module):
@@ -27,7 +27,7 @@ class Linear(Module):
             )
         self.in_features = in_features
         self.out_features = out_features
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else default_rng()
         limit = np.sqrt(6.0 / (in_features + out_features))
         self.weight = self.register_parameter(
             "weight", rng.uniform(-limit, limit, (in_features, out_features))

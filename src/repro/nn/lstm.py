@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.module import Module
+from repro.nn.module import Module, default_rng
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -172,7 +172,7 @@ class LSTM(Module):
         super().__init__()
         if num_layers <= 0:
             raise ValueError(f"num_layers must be positive: {num_layers}")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else default_rng()
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.num_layers = num_layers

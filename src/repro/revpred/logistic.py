@@ -13,7 +13,7 @@ import numpy as np
 from repro.market.features import NUM_BASE_FEATURES
 from repro.nn.linear import Linear
 from repro.nn.losses import sigmoid
-from repro.nn.module import Module
+from repro.nn.module import Module, default_rng
 
 
 class LogisticBaseline(Module):
@@ -26,7 +26,7 @@ class LogisticBaseline(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else default_rng()
         self.history_features = history_features
         self.present_features = present_features
         input_size = 2 * history_features + present_features

@@ -19,7 +19,7 @@ from repro.nn.activations import ReLU
 from repro.nn.linear import Linear
 from repro.nn.losses import sigmoid
 from repro.nn.lstm import LSTM
-from repro.nn.module import Module, Sequential
+from repro.nn.module import Module, Sequential, default_rng
 
 
 class RevPredNetwork(Module):
@@ -35,7 +35,7 @@ class RevPredNetwork(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else default_rng()
         self.history_features = history_features
         self.present_features = present_features
         self.lstm = LSTM(history_features, lstm_hidden, num_layers=lstm_layers, rng=rng)

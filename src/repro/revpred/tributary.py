@@ -25,7 +25,7 @@ from repro.market.features import NUM_BASE_FEATURES
 from repro.nn.linear import Linear
 from repro.nn.losses import sigmoid
 from repro.nn.lstm import LSTM
-from repro.nn.module import Module
+from repro.nn.module import Module, default_rng
 
 
 class TributaryNetwork(Module):
@@ -40,7 +40,7 @@ class TributaryNetwork(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else default_rng()
         self.history_features = history_features
         self.present_features = present_features
         # Every record carries the base features plus the max price.

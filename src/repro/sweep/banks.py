@@ -41,7 +41,13 @@ from repro.market.features import FeatureExtractor
 from repro.nn.serialize import load_weights, save_weights
 from repro.revpred.calibration import OddsCorrection
 from repro.revpred.predictor import MarketPredictor, PredictorBank
-from repro.sweep.cache import canonical_json, mount_now
+from repro.sweep.cache import (
+    canonical_json,
+    fsync_dir,
+    fsync_file,
+    fsync_write_text,
+    mount_now,
+)
 
 #: Bump when the bank artifact layout or reconstruction logic changes;
 #: artifacts from other schemas are ignored, never trusted.
@@ -94,8 +100,17 @@ def bank_fingerprint(spec: Mapping[str, Any]) -> str:
 class BankCache:
     """Fingerprint-keyed store of trained predictor banks."""
 
-    def __init__(self, root: str | Path, sweep_stale: bool = True) -> None:
+    def __init__(
+        self, root: str | Path, sweep_stale: bool = True, fsync: bool = True
+    ) -> None:
         self.root = Path(root)
+        #: Durability for :meth:`store`: fsync every artifact file and
+        #: the directories on the rename path before the bank counts as
+        #: published — a host crash must never surface a bank whose
+        #: ``meta.json`` names weights that never reached the platter.
+        #: Callers co-locating under a ``SweepCache`` thread its flag
+        #: through, so one ``--no-fsync`` governs the whole cache tree.
+        self.fsync = fsync
         self.root.mkdir(parents=True, exist_ok=True)
         if sweep_stale:
             self._sweep_stale_tmp()
@@ -132,6 +147,7 @@ class BankCache:
             yield
             return
         path = self.root / f"{bank_fingerprint(spec)}.lock"
+        # repro-lint: ignore[durable-publish] flock handle, content-free
         with open(path, "w") as handle:
             fcntl.flock(handle, fcntl.LOCK_EX)
             try:
@@ -223,9 +239,21 @@ class BankCache:
             tmp.mkdir(parents=True, exist_ok=True)
             for name, predictor in bank.predictors.items():
                 save_weights(predictor.model, tmp / f"{name}.npz")
-            (tmp / "meta.json").write_text(canonical_json(meta))
+                if self.fsync:
+                    fsync_file(tmp / f"{name}.npz")
+            # The meta/weights publish order matters for durability:
+            # meta lands last and fsync'd, so a crash mid-assembly can
+            # only leave weights without meta (``load`` reads that as a
+            # miss), never a meta naming weights that were lost.
+            fsync_write_text(
+                tmp / "meta.json", canonical_json(meta), fsync=self.fsync
+            )
+            if self.fsync:
+                fsync_dir(tmp)
             try:
                 os.rename(tmp, path)
+                if self.fsync:
+                    fsync_dir(self.root)
             except OSError:
                 # The slot is occupied (rename onto a non-empty
                 # directory fails).  Keep a concurrent writer's intact
@@ -235,6 +263,8 @@ class BankCache:
                 else:
                     shutil.rmtree(path, ignore_errors=True)
                     os.rename(tmp, path)
+                    if self.fsync:
+                        fsync_dir(self.root)
         except BaseException:
             shutil.rmtree(tmp, ignore_errors=True)
             raise

@@ -122,6 +122,7 @@ class Lease:
         )
         payload["history"] = history
         payload["defer_for"] = max(0.0, delay)
+        # repro-lint: ignore[no-absolute-deadline] legacy-compat stamp; readers clamp it to mtime + backoff_cap
         payload["not_before"] = time.time() + max(0.0, delay)
         self.queue._write_atomic(self.queue.tasks_dir / self.name, payload)
         try:

@@ -493,6 +493,12 @@ class TaskQueue:
             payload = json.loads(private.read_text())
             payload["owner"] = owner
             payload["attempt"] = int(payload.get("attempt", 0)) + 1
+            # The claim-temp is private (nobody else resolves this
+            # name) and a lease is soft liveness state: lose it to a
+            # crash and the task simply re-leases after one TTL.  The
+            # atomic tmp+rename dance would also reset the mtime the
+            # expiry scan measures from.
+            # repro-lint: ignore[durable-publish] pre-publish private stamp on re-derivable lease state
             private.write_text(json.dumps(payload, sort_keys=True))
             # A kill injected here rehearses the worker dying between
             # the claim rename and the publish — the claim-temp window

@@ -192,6 +192,10 @@ class WorkerSupervisor:
             pass  # no log yet, or the filesystem is misbehaving
 
     def _launch(self, slot: _Slot) -> None:
+        # Append-only operator log, rotated at MAX_LOG_BYTES; it is
+        # diagnostics, not published sweep state — nothing replays it,
+        # and a torn tail after a crash is acceptable.
+        # repro-lint: ignore[durable-publish] worker stdout log, not shared-state
         log = open(self._log_path(slot), "ab")
         try:
             slot.process = self._spawn(stdout=log)

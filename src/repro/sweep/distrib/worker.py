@@ -123,7 +123,11 @@ class SweepWorker:
         self.cache = SweepCache(
             cache_root, sweep_stale=False, fsync=queue.fsync, faults=self.faults
         )
-        self.bank_cache = BankCache(banks_root) if banks_root is not None else None
+        self.bank_cache = (
+            BankCache(banks_root, fsync=queue.fsync)
+            if banks_root is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> int:

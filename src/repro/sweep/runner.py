@@ -313,7 +313,13 @@ def resolve_caches(
     if bank_cache is False:
         banks = None
     elif bank_cache is None:
-        banks = BankCache(cache.banks_root) if cache is not None else None
+        # Co-located under the result cache: inherit its fsync policy,
+        # so one --no-fsync governs the whole cache tree.
+        banks = (
+            BankCache(cache.banks_root, fsync=cache.fsync)
+            if cache is not None
+            else None
+        )
     elif isinstance(bank_cache, BankCache):
         banks = bank_cache
     else:

@@ -1,0 +1,9 @@
+"""Violating fixture: an absolute wall-clock deadline is persisted."""
+
+import time
+
+
+def requeue(payload: dict, delay: float) -> dict:
+    payload = dict(payload)
+    payload["not_before"] = time.time() + max(0.0, delay)
+    return payload

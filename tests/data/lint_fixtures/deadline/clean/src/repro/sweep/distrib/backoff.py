@@ -1,0 +1,7 @@
+"""Clean fixture: relative durations, anchored by the reader."""
+
+
+def requeue(payload: dict, delay: float) -> dict:
+    payload = dict(payload)
+    payload["defer_for"] = max(0.0, delay)
+    return payload

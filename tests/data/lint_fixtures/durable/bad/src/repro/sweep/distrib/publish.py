@@ -1,0 +1,13 @@
+"""Violating fixture: three bare writes into the publish tree."""
+
+import json
+from pathlib import Path
+
+
+def publish(path: Path, payload: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def publish_text(path: Path, text: str) -> None:
+    path.write_text(text)

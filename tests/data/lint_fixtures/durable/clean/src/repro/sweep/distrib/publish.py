@@ -1,0 +1,13 @@
+"""Clean fixture: the atomic tmp+rename+fsync publish idiom."""
+
+import os
+from pathlib import Path
+
+from repro.sweep.cache import fsync_dir, fsync_write_text
+
+
+def publish(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    fsync_write_text(tmp, text)
+    os.replace(tmp, path)
+    fsync_dir(path.parent)

@@ -1,0 +1,7 @@
+"""Fixture registry: one used site, one rotted declaration."""
+
+SITES = ("demo.write", "demo.unused")
+
+
+def perform(plan, site, key=""):
+    return None if plan is None else plan.perform(site, key)

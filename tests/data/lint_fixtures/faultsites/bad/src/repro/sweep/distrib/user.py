@@ -1,0 +1,8 @@
+"""Violating fixture: an injection point with an undeclared site."""
+
+from repro.sweep.distrib import faults as faults_mod
+
+
+def store(plan, key: str) -> None:
+    faults_mod.perform(plan, "demo.write", key)
+    faults_mod.perform(plan, "demo.rogue", key)

@@ -1,0 +1,7 @@
+"""Fixture registry: one declared site, used exactly once."""
+
+SITES = ("demo.write",)
+
+
+def perform(plan, site, key=""):
+    return None if plan is None else plan.perform(site, key)

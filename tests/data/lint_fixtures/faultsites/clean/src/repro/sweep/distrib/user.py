@@ -1,0 +1,7 @@
+"""Clean fixture: the injection point names a declared site."""
+
+from repro.sweep.distrib import faults as faults_mod
+
+
+def store(plan, key: str) -> None:
+    faults_mod.perform(plan, "demo.write", key)

@@ -1,0 +1,9 @@
+"""Fixture freeze: this content is pinned by its SHA-256."""
+
+FROZEN_CONSTANT = 42
+
+
+def reference_step(x: float) -> float:
+    return x * 2.0
+
+# an innocent-looking edit the goldens never saw

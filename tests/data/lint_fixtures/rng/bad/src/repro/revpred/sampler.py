@@ -1,0 +1,14 @@
+"""Violating fixture: OS entropy and the hidden global generator."""
+
+import random
+
+import numpy as np
+
+
+def sample() -> float:
+    rng = np.random.default_rng()
+    return float(rng.random())
+
+
+def jitter() -> float:
+    return random.uniform(0.0, 1.0)

@@ -1,0 +1,8 @@
+"""Clean fixture: every generator is explicitly seeded."""
+
+import numpy as np
+
+
+def sample(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.random())

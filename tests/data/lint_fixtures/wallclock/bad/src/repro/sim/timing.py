@@ -1,0 +1,17 @@
+"""Violating fixture: three distinct wall-clock reads."""
+
+import time
+from datetime import datetime
+from time import monotonic
+
+
+def next_poll(interval: float) -> float:
+    return time.time() + interval
+
+
+def stamp() -> str:
+    return datetime.now().isoformat()
+
+
+def elapsed(start: float) -> float:
+    return monotonic() - start

@@ -1,0 +1,7 @@
+"""Clean fixture: simulated time only, no host clock."""
+
+from repro.sim.clock import HOUR
+
+
+def next_poll(now: float, interval: float = HOUR) -> float:
+    return now + interval
