@@ -201,9 +201,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
         ScenarioGrid,
         SweepCellError,
         SweepRunner,
-        canonical_json,
         cells_table,
         summary_columns,
+        sweep_out_text,
     )
     from repro.sweep.distrib import (
         DEFAULT_LEASE_TTL,
@@ -364,7 +364,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
                 for s in grid
                 if s.fingerprint() in survived
             ]
-            Path(args.out).write_text(canonical_json(partial) + "\n")
+            Path(args.out).write_text(sweep_out_text(partial))
             print(
                 f"wrote partial {args.out} ({len(partial)}/{len(grid)} cells)",
                 file=sys.stderr,
@@ -390,7 +390,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
     if args.out:
         # Grid-ordered canonical JSON — two runs of the same grid are
         # byte-comparable with `cmp`, whatever executed them.
-        Path(args.out).write_text(canonical_json(result.summaries()) + "\n")
+        Path(args.out).write_text(sweep_out_text(result.summaries()))
         print(f"wrote {args.out}", flush=True)
     return 0
 
@@ -466,6 +466,45 @@ def _run_sweep_worker(args: argparse.Namespace) -> int:
         flush=True,
     )
     return 1 if worker.failed else 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.serve import JobRegistry, SweepService
+
+    if args.jobs < 0:
+        print(f"invalid --jobs: {args.jobs}", file=sys.stderr)
+        return 2
+    try:
+        registry = JobRegistry(
+            args.cache_dir,
+            jobs=args.jobs,
+            lease_ttl=args.lease_ttl,
+            max_attempts=args.max_attempts,
+            fsync=not args.no_fsync,
+        )
+    except ValueError as error:
+        print(f"cannot serve: {error}", file=sys.stderr)
+        return 2
+    service = SweepService(
+        registry, host=args.host, port=args.port, quiet=args.quiet
+    )
+    adopted = [r["id"] for r in registry.list_jobs() if r["state"] == "running"]
+    if adopted:
+        print(f"re-adopted {len(adopted)} running job(s): {', '.join(adopted)}")
+    print(
+        f"serving sweeps on {service.url} (cache: {registry.cache.root})",
+        flush=True,
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print(
+            "\nshutting down — running jobs stay adoptable on restart",
+            file=sys.stderr,
+        )
+    finally:
+        service.close()
+    return 0
 
 
 def _run_lint(args: argparse.Namespace) -> int:
@@ -664,6 +703,44 @@ def build_parser() -> argparse.ArgumentParser:
         "the queue's fault-state/ dir so one plan governs the whole fleet",
     )
     worker.set_defaults(func=_run_sweep_worker)
+
+    serve = sub.add_parser(
+        "serve", help="run the sweep-as-a-service HTTP API"
+    )
+    serve.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="shared result-cache root (job registry lives under "
+        "<cache>/serve/; all tenants share cell and bank caches)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8521,
+        help="bind port, 0 for ephemeral (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="local worker processes per job; 0 = coordinate only, "
+        "external sweep-workers attach to the job's queue dir "
+        "(default: %(default)s)",
+    )
+    serve.add_argument(
+        "--lease-ttl", type=float, default=60.0, metavar="SECONDS",
+        help="per-job queue lease TTL (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="per-cell retry budget before quarantine (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsyncs on registry/queue/cache publishes (throwaway runs)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logs"
+    )
+    serve.set_defaults(func=_run_serve)
 
     lint = sub.add_parser(
         "lint", help="run the AST-based invariant checker over the repo"

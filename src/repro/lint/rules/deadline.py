@@ -25,7 +25,10 @@ from typing import Iterator
 from repro.lint.asthelpers import ImportMap, resolve_dotted
 from repro.lint.registry import Rule, register
 
-SCOPE = "src/repro/sweep/distrib/"
+#: ``serve/`` rides along: stream/wait timeouts there must be relative
+#: (monotonic) too — an HTTP tail can outlive any wall-clock
+#: assumption a deadline would bake in.
+SCOPE = ("src/repro/sweep/distrib/", "src/repro/serve/")
 
 
 def _is_walltime_call(node: ast.expr, imports: ImportMap) -> bool:

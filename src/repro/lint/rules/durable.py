@@ -32,7 +32,9 @@ from repro.lint.asthelpers import (
 from repro.lint.registry import Rule, register
 
 #: Files whose writes land in (or next to) the shared cache tree.
-SCOPES = ("src/repro/sweep/distrib/",)
+#: ``serve/`` is in: its job registry lives under the cache root and
+#: is read by restarted servers and concurrent tenants.
+SCOPES = ("src/repro/sweep/distrib/", "src/repro/serve/")
 SCOPE_FILES = ("src/repro/sweep/cache.py", "src/repro/sweep/banks.py")
 
 #: Functions that *are* the atomic-publish machinery; their bodies are

@@ -1,0 +1,304 @@
+"""The ``repro serve`` HTTP front door — stdlib only.
+
+A :class:`SweepService` wraps a threaded ``http.server`` around a
+:class:`~repro.serve.jobs.JobRegistry`:
+
+* ``POST /v1/sweeps`` — submit a spec (201 created, 200 if the same
+  grid is already registered; 422 echoes the CLI's exact
+  ``invalid sweep spec: ...`` rejection text);
+* ``GET /v1/sweeps`` — list jobs;
+* ``GET /v1/sweeps/{id}`` — record + live queue depth + ledger counts;
+* ``GET /v1/sweeps/{id}/events`` — per-cell completions as NDJSON;
+  ``?follow=1`` (default) streams until the job settles and closes
+  with one non-event state line, ``?follow=0`` returns a page and the
+  next cursor in ``X-Repro-Next-Cursor``;
+* ``GET /v1/sweeps/{id}/result`` — the assembled summary,
+  byte-identical to ``repro sweep --out`` for the same spec (409 until
+  the job is done);
+* ``POST /v1/sweeps/{id}/cancel`` — graceful cancellation;
+* ``GET /healthz`` — liveness.
+
+One request, one worker thread (``ThreadingHTTPServer``): long-lived
+event streams coexist with status polls from other tenants.  A client
+that walks away mid-stream costs the server one ``BrokenPipeError`` —
+the job itself never notices.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.jobs import (
+    JobConflictError,
+    JobRegistry,
+    SpecValidationError,
+    UnknownJobError,
+)
+from repro.serve.streams import iter_job_events
+from repro.sweep.cache import canonical_json
+
+#: Body fields ``POST /v1/sweeps`` accepts; anything else is a typo
+#: worth a 400, not something to silently drop.
+_SUBMIT_FIELDS = {"spec", "jobs", "lease_ttl", "resume"}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    @property
+    def service(self) -> "SweepService":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if not self.service.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload, headers: Optional[dict] = None):
+        body = (canonical_json(payload) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str):
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body")
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"request body is not valid JSON: {error}")
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # -- routing --------------------------------------------------------
+    def do_GET(self):  # noqa: N802 — stdlib naming
+        url = urlsplit(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = parse_qs(url.query)
+        try:
+            if parts == ["healthz"]:
+                self._send_json(200, {"ok": True})
+            elif parts == ["v1", "sweeps"]:
+                self._send_json(
+                    200, {"jobs": self.service.registry.list_jobs()}
+                )
+            elif len(parts) == 3 and parts[:2] == ["v1", "sweeps"]:
+                self._send_json(200, self.service.registry.status(parts[2]))
+            elif len(parts) == 4 and parts[:2] == ["v1", "sweeps"]:
+                if parts[3] == "events":
+                    self._get_events(parts[2], query)
+                elif parts[3] == "result":
+                    self._get_result(parts[2])
+                else:
+                    self._send_error_json(404, f"no such route: {url.path}")
+            else:
+                self._send_error_json(404, f"no such route: {url.path}")
+        except UnknownJobError as error:
+            self._send_error_json(404, str(error))
+        except JobConflictError as error:
+            self._send_error_json(409, str(error))
+        except ValueError as error:
+            self._send_error_json(400, str(error))
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-stream; the job is unaffected.
+            self.close_connection = True
+
+    def do_POST(self):  # noqa: N802 — stdlib naming
+        url = urlsplit(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["v1", "sweeps"]:
+                self._post_submit()
+            elif (
+                len(parts) == 4
+                and parts[:2] == ["v1", "sweeps"]
+                and parts[3] == "cancel"
+            ):
+                record = self.service.registry.cancel(parts[2])
+                self._send_json(200, record)
+            else:
+                self._send_error_json(404, f"no such route: {url.path}")
+        except SpecValidationError as error:
+            self._send_error_json(422, str(error))
+        except UnknownJobError as error:
+            self._send_error_json(404, str(error))
+        except JobConflictError as error:
+            self._send_error_json(409, str(error))
+        except ValueError as error:
+            self._send_error_json(400, str(error))
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    # -- handlers -------------------------------------------------------
+    def _post_submit(self):
+        payload = self._read_body()
+        unknown = set(payload) - _SUBMIT_FIELDS
+        if unknown:
+            raise ValueError(
+                f"unknown submit field(s): {', '.join(sorted(unknown))}"
+            )
+        if "spec" not in payload:
+            raise ValueError("submit body needs a 'spec' object")
+        kwargs = {}
+        if "jobs" in payload:
+            jobs = payload["jobs"]
+            if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 0:
+                raise ValueError(f"jobs must be an integer >= 0: {jobs!r}")
+            kwargs["jobs"] = jobs
+        if "lease_ttl" in payload:
+            ttl = payload["lease_ttl"]
+            if not isinstance(ttl, (int, float)) or isinstance(ttl, bool) or ttl <= 0:
+                raise ValueError(f"lease_ttl must be a positive number: {ttl!r}")
+            kwargs["lease_ttl"] = float(ttl)
+        if "resume" in payload:
+            if not isinstance(payload["resume"], bool):
+                raise ValueError("resume must be a boolean")
+            kwargs["resume"] = payload["resume"]
+        record, created = self.service.registry.submit(payload["spec"], **kwargs)
+        self._send_json(
+            201 if created else 200,
+            {
+                "id": record["id"],
+                "state": record["state"],
+                "total": record["total"],
+                "created": created,
+            },
+        )
+
+    def _get_events(self, job_id: str, query: dict):
+        registry = self.service.registry
+        cursor = self._int_param(query, "cursor", 0)
+        follow = self._int_param(query, "follow", 1)
+        limit = self._int_param(query, "limit", 0)
+        if not follow:
+            events, next_cursor = registry.events_page(
+                job_id, cursor, limit or None
+            )
+            lines = "".join(canonical_json(e) + "\n" for e in events)
+            body = lines.encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("X-Repro-Next-Cursor", str(next_cursor))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        registry.job(job_id)  # 404 before committing to a stream
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        # Close-delimited stream: no Content-Length, the end of the
+        # job is the end of the body.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        for event in iter_job_events(
+            registry, job_id, cursor, stop=self.service.stream_stop
+        ):
+            self.wfile.write((canonical_json(event) + "\n").encode("utf-8"))
+            self.wfile.flush()
+        record = registry.job(job_id)
+        final = {
+            "state": record["state"],
+            "completed": len(registry.events_page(job_id)[0]),
+            "total": record["total"],
+        }
+        self.wfile.write((canonical_json(final) + "\n").encode("utf-8"))
+        self.wfile.flush()
+        self.close_connection = True
+
+    def _get_result(self, job_id: str):
+        text = self.service.registry.result_text(job_id)
+        body = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        # Exact bytes: this body is the --out file, not a re-encoding.
+        self.wfile.write(body)
+
+    @staticmethod
+    def _int_param(query: dict, name: str, default: int) -> int:
+        values = query.get(name)
+        if not values:
+            return default
+        try:
+            return int(values[-1])
+        except ValueError:
+            raise ValueError(f"{name} must be an integer: {values[-1]!r}")
+
+
+class SweepService:
+    """A running ``repro serve`` instance (own the sockets and threads).
+
+    ``port=0`` binds an ephemeral port (tests); the bound address is
+    ``self.host``/``self.port`` after construction.  ``start()`` runs
+    the accept loop on a background thread (in-process tests);
+    :meth:`serve_forever` runs it in the foreground (the CLI).
+    """
+
+    def __init__(
+        self,
+        registry: JobRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+    ) -> None:
+        self.registry = registry
+        self.quiet = quiet
+        #: Set on close: every open event stream ends at its next poll.
+        self.stream_stop = threading.Event()
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.service = self  # type: ignore[attr-defined]
+        self.host, self.port = self.httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "SweepService":
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever(poll_interval=0.2)
+
+    def close(self) -> None:
+        """Stop accepting, end open streams, park running jobs.
+
+        Jobs are *not* cancelled: their records stay ``running`` on
+        disk and a later server (or the same one restarted) re-adopts
+        them with resume semantics.
+        """
+        self.stream_stop.set()
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.registry.close()
+
+    def __enter__(self) -> "SweepService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

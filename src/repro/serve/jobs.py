@@ -1,0 +1,519 @@
+"""The serve-side job registry: submitted sweeps as durable state.
+
+One directory per submitted sweep under ``<cache>/serve/jobs/<id>/``:
+
+* ``job.json`` — the job record (state machine: ``running`` →
+  ``done`` / ``failed`` / ``cancelled``), published atomically so a
+  crashed server never surfaces a half-written record;
+* ``events/<seq>.json`` — one file per completed cell, in completion
+  order, the backing store for cursor pagination and the NDJSON tail;
+* ``queue/`` — the job's own PR-5 filesystem task queue (the
+  coordinator's staged-manifest enqueue path, verbatim), so external
+  ``repro sweep-worker`` processes can attach to a served job exactly
+  as they would to a CLI sweep;
+* ``result.json`` — the assembled grid-ordered summary, byte-identical
+  to ``repro sweep --out`` for the same spec;
+* ``cancel.json`` — the cancellation ledger entry, when cancelled.
+
+The job id is a fingerprint of the grid's cell fingerprints, so
+submitting the same spec twice is idempotent by construction: the
+second submit finds the first's directory and returns it.  A restarted
+server re-adopts every job left ``running`` on disk (resume semantics:
+cached cells complete instantly, the rest re-enter the queue).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.sweep.cache import (
+    SweepCache,
+    canonical_json,
+    fsync_dir,
+    fsync_write_text,
+    sweep_out_text,
+)
+from repro.sweep.distrib import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    DistributedSweepRunner,
+    SweepCancelled,
+    TaskQueue,
+)
+from repro.sweep.runner import SweepCellError
+from repro.sweep.scenario import SCHEMA_VERSION, ScenarioGrid
+
+#: Version stamp for ``job.json`` records.
+SERVE_SCHEMA_VERSION = 1
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: Shape of a valid job id (also the URL-path validator: anything else
+#: is an unknown job, never a filesystem path).
+_JOB_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+class SpecValidationError(ValueError):
+    """The submitted spec was rejected — same text as the CLI path."""
+
+
+class UnknownJobError(KeyError):
+    """No job with that id (or the id is not even well-formed)."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(job_id)
+        self.job_id = job_id
+
+    def __str__(self) -> str:
+        return f"unknown job: {self.job_id}"
+
+
+class JobConflictError(RuntimeError):
+    """The requested transition is invalid for the job's state."""
+
+
+def job_id_for(scenarios) -> str:
+    """The idempotency key: a fingerprint of the grid's fingerprints.
+
+    Two submissions naming the same cells — however the spec spells
+    them — are the same job.
+    """
+    payload = canonical_json(
+        {
+            "schema": SCHEMA_VERSION,
+            "cells": [s.fingerprint() for s in scenarios],
+        }
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class JobRegistry:
+    """Submitted sweeps, persisted under ``<cache>/serve/jobs/``.
+
+    Args:
+        cache: Shared result-cache root (or :class:`SweepCache`) every
+            tenant's jobs read and write through.
+        jobs: Default local worker processes per job (0 = coordinate
+            only; external workers attach to the job's queue dir).
+        lease_ttl / max_attempts: Per-job queue policy defaults.
+        poll_interval: Tail cadence for job runner threads.
+        fsync: Durability of registry and queue publishes.
+        adopt: Re-adopt jobs left ``running`` by a previous server
+            process (resume semantics).  Disable only in tests that
+            stage registry state by hand.
+    """
+
+    def __init__(
+        self,
+        cache: Union[str, Path, SweepCache],
+        *,
+        jobs: int = 1,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        poll_interval: float = 0.1,
+        fsync: bool = True,
+        adopt: bool = True,
+    ) -> None:
+        if not isinstance(cache, SweepCache):
+            cache = SweepCache(cache, fsync=fsync)
+        self.cache = cache
+        self.jobs = int(jobs)
+        self.lease_ttl = float(lease_ttl)
+        self.max_attempts = int(max_attempts)
+        self.poll_interval = float(poll_interval)
+        self.fsync = fsync
+        self.jobs_root = cache.serve_root / "jobs"
+        self.jobs_root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._threads: dict[str, threading.Thread] = {}
+        self._stops: dict[str, threading.Event] = {}
+        #: Why each stop was set ("cancel" drains and retires the
+        #: queue; "shutdown" leaves the job adoptable).
+        self._stop_reasons: dict[str, str] = {}
+        if adopt:
+            self._adopt_running_jobs()
+
+    # -- paths ----------------------------------------------------------
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs_root / job_id
+
+    def _job_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "job.json"
+
+    def _events_dir(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "events"
+
+    def result_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "result.json"
+
+    def queue_dir(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "queue"
+
+    # -- durable record I/O ---------------------------------------------
+    def _publish(self, path: Path, text: str) -> None:
+        """Atomic durable publish: private temp, fsync, one rename."""
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        try:
+            fsync_write_text(tmp, text, fsync=self.fsync)
+            os.replace(tmp, path)
+            if self.fsync:
+                fsync_dir(path.parent)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
+    def _write_record(self, record: dict) -> None:
+        self._publish(self._job_path(record["id"]), canonical_json(record))
+
+    def _load_record(self, job_id: str) -> Optional[dict]:
+        try:
+            return json.loads(self._job_path(job_id).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    # -- lifecycle ------------------------------------------------------
+    def submit(
+        self,
+        spec: dict,
+        *,
+        jobs: Optional[int] = None,
+        lease_ttl: Optional[float] = None,
+        resume: bool = False,
+    ) -> tuple[dict, bool]:
+        """Validate, register, and start a sweep; idempotent.
+
+        Returns ``(record, created)``: ``created`` is ``False`` when an
+        identical grid was already submitted (any state) — the caller
+        gets the existing job instead of a duplicate.
+        """
+        try:
+            grid = ScenarioGrid.from_spec(spec)
+        except (TypeError, ValueError) as error:
+            # Byte-for-byte the CLI's rejection text, so a client sees
+            # the same diagnosis whichever front door it used.
+            raise SpecValidationError(f"invalid sweep spec: {error}") from error
+        scenarios = list(grid)
+        job_id = job_id_for(scenarios)
+        record = {
+            "schema": SERVE_SCHEMA_VERSION,
+            "id": job_id,
+            "state": "running",
+            "spec": spec,
+            "total": len(scenarios),
+            "jobs": self.jobs if jobs is None else int(jobs),
+            "lease_ttl": self.lease_ttl if lease_ttl is None else float(lease_ttl),
+            "max_attempts": self.max_attempts,
+            "resume": bool(resume),
+            "error": None,
+            "failures": [],
+            "cancel": None,
+        }
+        with self._lock:
+            existing = self._load_record(job_id)
+            if existing is not None:
+                return existing, False
+            job_dir = self.job_dir(job_id)
+            self._events_dir(job_id).mkdir(parents=True, exist_ok=True)
+            if self.fsync:
+                fsync_dir(job_dir)
+                fsync_dir(self.jobs_root)
+            self._write_record(record)
+            self._start_runner(record)
+        return record, True
+
+    def _adopt_running_jobs(self) -> None:
+        """Restart the runner thread of every job left ``running``.
+
+        A previous server that crashed (or shut down) mid-sweep leaves
+        the job record in ``running`` and the queue on disk; resuming
+        reconciles against the shared cache, so cells that completed
+        under the old server finish instantly and only the remainder
+        re-executes.
+        """
+        with self._lock:
+            for job_dir in sorted(self.jobs_root.iterdir()):
+                record = self._load_record(job_dir.name)
+                if record is None or record["state"] != "running":
+                    continue
+                record["resume"] = True
+                self._write_record(record)
+                self._start_runner(record)
+
+    def _start_runner(self, record: dict) -> None:
+        job_id = record["id"]
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=self._run_job,
+            args=(record, stop),
+            name=f"serve-job-{job_id}",
+            daemon=True,
+        )
+        self._stops[job_id] = stop
+        self._threads[job_id] = thread
+        thread.start()
+
+    def _run_job(self, record: dict, stop: threading.Event) -> None:
+        job_id = record["id"]
+        try:
+            scenarios = list(ScenarioGrid.from_spec(record["spec"]))
+            emitted, next_seq = self._emitted_events(job_id)
+            total = record["total"]
+
+            seq_counter = {"next": next_seq}
+
+            def on_cell(_done: int, _total: int, cell) -> None:
+                fingerprint = cell.scenario.fingerprint()
+                if fingerprint in emitted:
+                    # An adopted job re-emits cached cells on resume;
+                    # the event log already has them, and a stable log
+                    # is what keeps client cursors valid.
+                    return
+                emitted.add(fingerprint)
+                seq = seq_counter["next"]
+                seq_counter["next"] = seq + 1
+                self._append_event(job_id, seq, cell, total)
+
+            runner = DistributedSweepRunner(
+                cache=self.cache,
+                queue_dir=self.queue_dir(job_id),
+                jobs=record["jobs"],
+                resume=record["resume"],
+                lease_ttl=record["lease_ttl"],
+                poll_interval=self.poll_interval,
+                max_attempts=record["max_attempts"],
+                fsync=self.fsync,
+            )
+            result = runner.run(scenarios, on_cell=on_cell, stop=stop)
+        except SweepCancelled:
+            # cancel()/close() owns the aftermath: a cancel finalises
+            # the record and retires the queue; a shutdown leaves both
+            # for the next server to adopt.
+            return
+        except SweepCellError as error:
+            failures = [
+                {"fingerprint": s.fingerprint(), "error": message}
+                for s, message in error.failures
+            ]
+            self._finish(job_id, "failed", error=str(error), failures=failures)
+            return
+        except Exception as error:  # noqa: BLE001 — job must record any crash
+            self._finish(job_id, "failed", error=f"{type(error).__name__}: {error}")
+            return
+        self._publish(
+            self.result_path(job_id), sweep_out_text(result.summaries())
+        )
+        self._finish(job_id, "done")
+
+    def _finish(
+        self,
+        job_id: str,
+        state: str,
+        *,
+        error: Optional[str] = None,
+        failures: Optional[list] = None,
+        cancel: Optional[dict] = None,
+    ) -> None:
+        with self._lock:
+            record = self._load_record(job_id)
+            if record is None or record["state"] in TERMINAL_STATES:
+                return
+            record["state"] = state
+            record["error"] = error
+            if failures is not None:
+                record["failures"] = failures
+            if cancel is not None:
+                record["cancel"] = cancel
+            self._write_record(record)
+
+    # -- events ---------------------------------------------------------
+    def _emitted_events(self, job_id: str) -> tuple[set, int]:
+        """Fingerprints already logged, and the next sequence number."""
+        emitted = set()
+        next_seq = 0
+        for path in sorted(self._events_dir(job_id).glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            emitted.add(payload.get("fingerprint"))
+            next_seq = max(next_seq, int(payload.get("seq", -1)) + 1)
+        return emitted, next_seq
+
+    def _append_event(self, job_id: str, seq: int, cell, total: int) -> None:
+        fingerprint = cell.scenario.fingerprint()
+        payload = {
+            "seq": seq,
+            "total": total,
+            "fingerprint": fingerprint,
+            "scenario": cell.scenario.to_dict(),
+            "cached": bool(cell.cached),
+            "bank_trainings": int(cell.bank_trainings),
+            "summary": cell.summary,
+        }
+        self._publish(
+            self._events_dir(job_id) / f"{seq:06d}.json", canonical_json(payload)
+        )
+
+    def events_page(
+        self, job_id: str, cursor: int = 0, limit: Optional[int] = None
+    ) -> tuple[list[dict], int]:
+        """Events with ``seq >= cursor``, and the next cursor.
+
+        The event log is append-only and sequence-named, so a cursor a
+        client took before a server restart stays valid after it.
+        """
+        self.job(job_id)  # 404 before paging
+        cursor = max(0, int(cursor))
+        events = []
+        for path in sorted(self._events_dir(job_id).glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if int(payload.get("seq", -1)) < cursor:
+                continue
+            events.append(payload)
+            if limit is not None and len(events) >= limit:
+                break
+        next_cursor = (
+            max(int(e["seq"]) for e in events) + 1 if events else cursor
+        )
+        return events, next_cursor
+
+    # -- queries --------------------------------------------------------
+    def job(self, job_id: str) -> dict:
+        if not _JOB_ID_RE.match(job_id or ""):
+            raise UnknownJobError(job_id)
+        record = self._load_record(job_id)
+        if record is None:
+            raise UnknownJobError(job_id)
+        return record
+
+    def list_jobs(self) -> list[dict]:
+        records = []
+        if not self.jobs_root.exists():
+            return records
+        for job_dir in sorted(self.jobs_root.iterdir()):
+            record = self._load_record(job_dir.name)
+            if record is not None:
+                records.append(record)
+        return records
+
+    def status(self, job_id: str) -> dict:
+        """The job record plus live queue depth and ledger counts."""
+        record = self.job(job_id)
+        queue_dir = self.queue_dir(job_id)
+        queue_stats = {
+            "pending": 0,
+            "inflight": 0,
+            "done": 0,
+            "quarantined": 0,
+            "ledger_attempts": 0,
+        }
+        if queue_dir.exists():
+            # A bare handle: the scan methods need no manifest, and a
+            # status probe must never mutate queue state.
+            queue = TaskQueue(queue_dir, lease_ttl=record["lease_ttl"])
+            failure_names = queue.failure_names()
+            attempts = 0
+            for name in failure_names:
+                entry = queue.failure_entry(name) or {}
+                attempts += len(entry.get("attempts", []))
+            queue_stats = {
+                "pending": len(queue.pending_names()),
+                "inflight": len(queue.inflight_names()),
+                "done": len(queue.done_names()),
+                "quarantined": len(failure_names),
+                "ledger_attempts": attempts,
+            }
+        events, _ = self.events_page(job_id)
+        status = dict(record)
+        status["completed"] = len(events)
+        status["queue"] = queue_stats
+        status["queue_dir"] = str(queue_dir)
+        return status
+
+    def result_text(self, job_id: str) -> str:
+        """The assembled ``--out`` bytes; only available when done."""
+        record = self.job(job_id)
+        if record["state"] != "done":
+            raise JobConflictError(
+                f"job {job_id} has no result (state: {record['state']})"
+            )
+        return self.result_path(job_id).read_text()
+
+    def cancel(self, job_id: str) -> dict:
+        """Stop a running job gracefully and ledger the cancellation.
+
+        Local workers are terminated by the runner's supervisor; the
+        queue is then retired (manifest removed), which is the signal
+        external workers already understand — they finish their leased
+        cell, fail to renew against a retired queue, and exit, so no
+        task is orphaned mid-lease.  Idempotent on an already-cancelled
+        job; a conflict on a finished one.
+        """
+        record = self.job(job_id)
+        if record["state"] == "cancelled":
+            return record
+        if record["state"] in TERMINAL_STATES:
+            raise JobConflictError(
+                f"job {job_id} already {record['state']}; nothing to cancel"
+            )
+        stop = self._stops.get(job_id)
+        thread = self._threads.get(job_id)
+        if stop is not None:
+            self._stop_reasons[job_id] = "cancel"
+            stop.set()
+        if thread is not None:
+            thread.join(timeout=60.0)
+        return self._finalize_cancel(job_id)
+
+    def _finalize_cancel(self, job_id: str) -> dict:
+        record = self.job(job_id)
+        if record["state"] in TERMINAL_STATES:
+            # The runner finished (or another cancel won) while we were
+            # stopping: that outcome stands.
+            return record
+        queue_dir = self.queue_dir(job_id)
+        pending = inflight = 0
+        if queue_dir.exists():
+            queue = TaskQueue(queue_dir, lease_ttl=record["lease_ttl"])
+            pending = len(queue.pending_names())
+            inflight = len(queue.inflight_names())
+        events, _ = self.events_page(job_id)
+        ledger = {
+            "reason": "cancel",
+            "pending": pending,
+            "inflight": inflight,
+            "completed": len(events),
+            "total": record["total"],
+        }
+        self._publish(
+            self.job_dir(job_id) / "cancel.json", canonical_json(ledger)
+        )
+        # Retiring the queue is the graceful drain: attached workers
+        # observe the manifest gone and exit after their current cell.
+        shutil.rmtree(queue_dir, ignore_errors=True)
+        self._finish(job_id, "cancelled", cancel=ledger)
+        return self.job(job_id)
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Stop every runner thread; jobs stay adoptable on disk.
+
+        Unlike :meth:`cancel`, shutdown does not touch queue state or
+        job records — a job still ``running`` on disk is exactly what
+        the next server's adoption pass looks for.
+        """
+        for job_id, stop in list(self._stops.items()):
+            self._stop_reasons.setdefault(job_id, "shutdown")
+            stop.set()
+        for thread in list(self._threads.values()):
+            thread.join(timeout=timeout)

@@ -1,0 +1,62 @@
+"""Streaming tails over a job's event log.
+
+The HTTP ``/events`` endpoint (follow mode) and anything else that
+wants live per-cell progress iterate :func:`iter_job_events`: a
+generator that drains the event log from a cursor, then polls for more
+with the coordinator's own :class:`AdaptiveDelay` backoff — tight
+while completions stream, decaying when idle — and ends the moment the
+job reaches a terminal state with every logged event delivered.
+
+Timeout discipline: all waiting is on relative delays (an
+``Event.wait``/``sleep`` per poll); no absolute wall-clock deadline is
+ever computed, so a stream can run for days without caring what the
+host clock does.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, Optional
+
+from repro.serve.jobs import TERMINAL_STATES, JobRegistry
+from repro.sweep.distrib import AdaptiveDelay
+
+#: Idle backoff ceiling for event polls — streams must stay snappy
+#: (sub-second reaction to a completion), unlike the coordinator tail
+#: whose ceiling tracks the shared-mount visibility grace.
+STREAM_IDLE_CAP = 1.0
+
+
+def iter_job_events(
+    registry: JobRegistry,
+    job_id: str,
+    cursor: int = 0,
+    *,
+    poll: float = 0.05,
+    stop=None,
+) -> Iterator[dict]:
+    """Yield events from ``cursor`` until the job settles.
+
+    Reads the job's state *before* each event scan: the registry
+    writes the terminal state only after the last event is on disk, so
+    observing a terminal state and then scanning can never miss a
+    trailing event.  ``stop`` (a :class:`threading.Event`) ends the
+    stream early — a shutting-down server uses it so open streams
+    don't pin the process.
+    """
+    delay = AdaptiveDelay(poll, STREAM_IDLE_CAP)
+    while True:
+        state = registry.job(job_id)["state"]
+        events, cursor = registry.events_page(job_id, cursor)
+        for event in events:
+            yield event
+        if events:
+            delay.progress()
+            continue
+        if state in TERMINAL_STATES:
+            return
+        if stop is not None:
+            if stop.wait(delay.idle()):
+                return
+        else:
+            time.sleep(delay.idle())

@@ -37,9 +37,10 @@ does not abort its siblings; the sweep drains, then raises
 
 from repro.sweep.aggregate import cells_table, summary_columns
 from repro.sweep.banks import BankCache, bank_fingerprint
-from repro.sweep.cache import SweepCache, canonical_json
+from repro.sweep.cache import SweepCache, canonical_json, sweep_out_text
 from repro.sweep.distrib import (
     DistributedSweepRunner,
+    SweepCancelled,
     SweepWorker,
     TaskQueue,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "Scenario",
     "ScenarioGrid",
     "SweepCache",
+    "SweepCancelled",
     "SweepCellError",
     "SweepResult",
     "SweepRunner",
@@ -69,4 +71,5 @@ __all__ = [
     "cells_table",
     "run_scenario",
     "summary_columns",
+    "sweep_out_text",
 ]

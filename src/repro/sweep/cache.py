@@ -45,10 +45,27 @@ QUEUE_SUBDIR = "queue"
 #: distributed — memory-maps them instead of regenerating.
 MARKETS_SUBDIR = "markets"
 
+#: Subdirectory of a result-cache root where ``repro serve`` keeps its
+#: job registry (one directory per submitted sweep: job record, event
+#: log, per-job queue, assembled result) — multiple concurrent tenants
+#: share the one cache root, and the registry rides along with it.
+SERVE_SUBDIR = "serve"
+
 
 def canonical_json(payload: Any) -> str:
     """Deterministic JSON: sorted keys, compact separators."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def sweep_out_text(summaries: Any) -> str:
+    """The byte-exact ``repro sweep --out`` payload for ``summaries``.
+
+    Grid-ordered canonical JSON plus one trailing newline — the single
+    definition every producer shares (CLI ``--out``, the serve API's
+    ``/result`` body), so "byte-identical to a serial run" is checked
+    against one serialisation, not two copies of it.
+    """
+    return canonical_json(list(summaries)) + "\n"
 
 
 def mount_now(directory: Path) -> float:
@@ -180,6 +197,11 @@ class SweepCache:
     def markets_root(self) -> Path:
         """Where the co-located per-seed market snapshots live."""
         return self.root / MARKETS_SUBDIR
+
+    @property
+    def serve_root(self) -> Path:
+        """Where the co-located ``repro serve`` job registry lives."""
+        return self.root / SERVE_SUBDIR
 
     def path_for(self, scenario: Scenario) -> Path:
         return self.root / f"{scenario.fingerprint()}.json"

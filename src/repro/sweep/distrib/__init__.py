@@ -32,7 +32,13 @@ of how many workers ran, died, or were overthrown along the way —
 under any :class:`FaultPlan`.
 """
 
-from repro.sweep.distrib.coordinator import DistributedSweepRunner, spawn_local_worker
+from repro.sweep.distrib.coordinator import (
+    AdaptiveDelay,
+    DistributedSweepRunner,
+    SweepCancelled,
+    spawn_local_worker,
+    tail_done_records,
+)
 from repro.sweep.distrib.faults import FaultPlan, FaultRule, InjectedFault
 from repro.sweep.distrib.lease import Heartbeat, Lease
 from repro.sweep.distrib.queue import (
@@ -52,11 +58,13 @@ from repro.sweep.distrib.supervisor import WorkerSupervisor
 from repro.sweep.distrib.worker import SweepWorker, default_worker_id
 
 __all__ = [
+    "AdaptiveDelay",
     "DEFAULT_BACKOFF_BASE",
     "DEFAULT_BACKOFF_CAP",
     "DEFAULT_LEASE_TTL",
     "DEFAULT_MAX_ATTEMPTS",
     "DistributedSweepRunner",
+    "SweepCancelled",
     "FaultPlan",
     "FaultRule",
     "Heartbeat",
@@ -70,5 +78,6 @@ __all__ = [
     "backoff_delay",
     "default_worker_id",
     "spawn_local_worker",
+    "tail_done_records",
     "task_name",
 ]

@@ -55,6 +55,222 @@ def _relative_to_queue(target: Path, queue_root: Path) -> str:
         return str(target)
 
 
+class SweepCancelled(RuntimeError):
+    """The sweep was stopped through its ``stop`` event before draining.
+
+    Not a failure: the queue survives exactly as it was (pending tasks,
+    leases, done records), so the caller decides whether to retire it
+    (``repro serve``'s cancel endpoint does) or leave it for a later
+    resume.  ``completed`` holds the cells that finished before the
+    stop; ``outstanding`` the task names that did not.
+    """
+
+    def __init__(
+        self, completed: list[CellResult], outstanding: list[str]
+    ) -> None:
+        self.completed = list(completed)
+        self.outstanding = list(outstanding)
+        super().__init__(
+            f"sweep cancelled with {len(self.outstanding)} cell(s) "
+            f"outstanding ({len(self.completed)} completed)"
+        )
+
+
+class AdaptiveDelay:
+    """The tail loop's idle backoff, reusable anywhere records trickle.
+
+    Tight (``floor``) while progress streams, decaying 1.5x per idle
+    poll toward ``cap``, snapping back to the floor the moment anything
+    arrives — a tailer over a slow producer stops burning a scan per
+    floor-interval, yet reacts at full speed when completions stream
+    again.  Purely relative durations: no wall-clock deadline is ever
+    computed, so the backoff is immune to clock skew by construction.
+    """
+
+    def __init__(self, floor: float, cap: float) -> None:
+        self.floor = float(floor)
+        self.cap = max(float(cap), self.floor)
+        self._delay = self.floor
+
+    @property
+    def current(self) -> float:
+        return self._delay
+
+    def progress(self) -> None:
+        self._delay = self.floor
+
+    def idle(self) -> float:
+        self._delay = min(self.cap, self._delay * 1.5)
+        return self._delay
+
+
+def tail_done_records(
+    queue,
+    cache: SweepCache,
+    by_name: dict,
+    rank: dict,
+    outstanding: set,
+    emit,
+    failures: list,
+    failure_details: list,
+    *,
+    poll_interval: float = 0.2,
+    fail_fast: bool = False,
+    timeout: Optional[float] = None,
+    supervisor=None,
+    completion_records: Optional[dict] = None,
+    stop=None,
+) -> None:
+    """Stream done records into ``emit`` until the queue drains.
+
+    The one tail implementation every consumer shares — the
+    ``repro sweep --distributed`` coordinator and the ``repro serve``
+    job runner alike — so the shared-mount visibility grace, the
+    adaptive idle backoff, the expired-lease reclaim, and the
+    vanished-task self-heal exist exactly once.
+
+    ``outstanding`` is mutated in place: whatever remains when the
+    function returns is what did not finish (non-empty only on
+    ``fail_fast`` or a ``stop``).  ``stop`` is an optional
+    :class:`threading.Event`; setting it makes the tail return at the
+    next poll without touching queue state, so a cancel is graceful by
+    construction.  ``timeout`` (seconds) bounds the loop for tests.
+    """
+    seen = set(by_name) - outstanding  # cache hits already emitted
+    deadline = None if timeout is None else time.monotonic() + timeout
+    # On a shared mount (NFS/EFS) a done record can become visible
+    # to this machine before the worker's cache summary does
+    # (attribute/negative-entry caching): give a missing summary a
+    # grace window before declaring the cell broken.
+    summary_grace = max(10.0, 4 * poll_interval)
+    summary_missing_since: dict[str, float] = {}
+    # Adaptive poll: tight while records arrive, decaying toward the
+    # grace window when idle — a coordinator tailing a slow remote
+    # fleet stops burning a scan per poll_interval, yet reacts at full
+    # speed the moment completions stream again.
+    idle = AdaptiveDelay(poll_interval, summary_grace)
+    while outstanding:
+        if stop is not None and stop.is_set():
+            return
+        progressed = False
+        for name in queue.done_names():
+            if name in seen or name not in by_name:
+                continue
+            scenario = by_name[name]
+            record = queue.done_record(name) or {}
+            if record.get("ok"):
+                summary = cache.load(scenario)
+                if summary is None:
+                    first = summary_missing_since.setdefault(
+                        name, time.monotonic()
+                    )
+                    if time.monotonic() - first < summary_grace:
+                        continue  # keep outstanding; re-poll
+                    seen.add(name)
+                    outstanding.discard(name)
+                    progressed = True
+                    if completion_records is not None:
+                        completion_records[name] = record
+                    failures.append(
+                        (scenario, "completed cell missing from the result cache")
+                    )
+                    failure_details.append(queue.failure_entry(name))
+                    continue
+                summary_missing_since.pop(name, None)
+                seen.add(name)
+                outstanding.discard(name)
+                progressed = True
+                if completion_records is not None:
+                    completion_records[name] = record
+                emit(
+                    CellResult(
+                        scenario,
+                        summary,
+                        # A re-lease that found its predecessor's
+                        # summary already persisted did not execute.
+                        cached=bool(record.get("from_cache")),
+                        bank_trainings=int(record.get("bank_trainings", 0)),
+                    )
+                )
+            else:
+                seen.add(name)
+                outstanding.discard(name)
+                progressed = True
+                if completion_records is not None:
+                    completion_records[name] = record
+                failures.append(
+                    (scenario, record.get("error") or "worker reported failure")
+                )
+                failure_details.append(queue.failure_entry(name))
+        if failures and fail_fast:
+            # Abort the tail: the queue (leases, pending tasks,
+            # records) survives as-is for post-mortem or --resume.
+            return
+        if not outstanding:
+            break
+        queue.reclaim_expired()
+        if supervisor is not None:
+            supervisor.tick()
+        # Self-heal vanished tasks: an outstanding cell with no
+        # task, lease, or done record cannot finish on its own (a
+        # worker quarantined its corrupt task file, or someone
+        # deleted it) — rewrite the task from the manifest.  The
+        # scan order (tasks, then in-flight leases including
+        # claim-temps, then done) matches the claim and completion
+        # transitions, so a cell mid-move is always seen in at
+        # least one of the three.
+        present = (
+            set(queue.pending_names())
+            | set(queue.inflight_names())
+            | set(queue.done_names())
+        )
+        for name in outstanding - present:
+            queue.ensure_pending(name, by_name[name], rank[name])
+        # A locally-spawned fleet that has died entirely — every
+        # slot's process exited *and* every slot's restart budget
+        # is spent — can never drain the queue; a worker only exits
+        # this early on a crash (clean exits need the sweep
+        # complete or the queue retired), so hanging silently would
+        # hide a real failure.  External fleets (jobs=0, or anyone
+        # holding a live lease) are unaffected — and a cell whose
+        # done record landed after this iteration's scan (`present`
+        # sees it) is not grounds to raise: the next iteration
+        # consumes it.
+        if (
+            supervisor is not None
+            and supervisor.fleet_dead()
+            and not queue.inflight_names()
+            and outstanding - set(queue.done_names())
+        ):
+            raise RuntimeError(
+                f"local sweep-worker fleet died (restarted "
+                f"{supervisor.restart_count} time(s), budget spent) with "
+                f"{len(outstanding)} cell(s) outstanding "
+                f"(queue: {queue.root}); see {queue.root / 'logs'} for "
+                "worker output; external workers can still drain it, "
+                "or rerun to respawn the local fleet"
+            )
+        if deadline is not None and time.monotonic() > deadline:
+            raise TimeoutError(
+                f"distributed sweep timed out with {len(outstanding)} cell(s) "
+                f"outstanding (queue: {queue.root})"
+            )
+        if progressed:
+            idle.progress()
+        else:
+            idle.idle()
+        delay = idle.current
+        if supervisor is not None and supervisor.pending_restart():
+            # Never let the idle backoff postpone a self-heal.
+            delay = poll_interval
+        if stop is not None:
+            # A stop must interrupt the sleep too, or a cancel waits
+            # out a full idle backoff before being noticed.
+            stop.wait(delay)
+        else:
+            time.sleep(delay)
+
+
 def spawn_local_worker(
     queue_root: Path,
     poll_interval: float = 0.2,
@@ -193,6 +409,7 @@ class DistributedSweepRunner:
         grid: Union[ScenarioGrid, Iterable[Scenario]],
         on_cell=None,
         timeout: Optional[float] = None,
+        stop=None,
     ) -> SweepResult:
         """Enqueue, wait for the fleet to drain the queue, assemble.
 
@@ -201,7 +418,11 @@ class DistributedSweepRunner:
         then raise :class:`SweepCellError`, and the returned result is
         in grid order — byte-identical to a serial run of the same
         grid.  ``timeout`` (seconds, ``None`` = wait forever) bounds
-        the tail loop for tests.
+        the tail loop for tests.  ``stop`` is an optional
+        :class:`threading.Event`: setting it makes the tail return at
+        its next poll, local workers shut down gracefully, and
+        :class:`SweepCancelled` is raised with whatever completed —
+        the queue is left intact for the caller to retire or resume.
         """
         scenarios = list(grid)
         total = len(scenarios)
@@ -373,11 +594,18 @@ class DistributedSweepRunner:
                 failure_details,
                 timeout,
                 supervisor,
+                stop,
             )
         finally:
             supervisor.shutdown()
             self.worker_restarts = supervisor.restart_count
 
+        if stop is not None and stop.is_set() and outstanding:
+            # Cancelled, not failed: leases were drained gracefully
+            # (local workers terminated above; external workers keep
+            # their leases until the caller retires the queue and the
+            # vanished manifest tells them to exit).
+            raise SweepCancelled(list(done.values()), sorted(outstanding))
         if failures:
             # The queue survives a failed sweep: its error records and
             # pending state are what ``--resume`` retries from.  The
@@ -409,129 +637,28 @@ class DistributedSweepRunner:
         failure_details,
         timeout,
         supervisor=None,
+        stop=None,
     ) -> None:
-        """Stream done records into ``emit`` until the queue drains."""
-        seen = set(by_name) - outstanding  # cache hits already emitted
-        outstanding = set(outstanding)
-        deadline = None if timeout is None else time.monotonic() + timeout
-        # On a shared mount (NFS/EFS) a done record can become visible
-        # to this machine before the worker's cache summary does
-        # (attribute/negative-entry caching): give a missing summary a
-        # grace window before declaring the cell broken.
-        summary_grace = max(10.0, 4 * self.poll_interval)
-        summary_missing_since: dict[str, float] = {}
-        # Adaptive poll: tight while records arrive, decaying toward
-        # the grace window when idle — a coordinator tailing a slow
-        # remote fleet stops burning a scan per poll_interval, yet
-        # reacts at full speed the moment completions stream again.
-        idle_delay = self.poll_interval
-        while outstanding:
-            progressed = False
-            for name in queue.done_names():
-                if name in seen or name not in by_name:
-                    continue
-                scenario = by_name[name]
-                record = queue.done_record(name) or {}
-                if record.get("ok"):
-                    summary = self.cache.load(scenario)
-                    if summary is None:
-                        first = summary_missing_since.setdefault(
-                            name, time.monotonic()
-                        )
-                        if time.monotonic() - first < summary_grace:
-                            continue  # keep outstanding; re-poll
-                        seen.add(name)
-                        outstanding.discard(name)
-                        progressed = True
-                        self.completion_records[name] = record
-                        failures.append(
-                            (scenario, "completed cell missing from the result cache")
-                        )
-                        failure_details.append(queue.failure_entry(name))
-                        continue
-                    summary_missing_since.pop(name, None)
-                    seen.add(name)
-                    outstanding.discard(name)
-                    progressed = True
-                    self.completion_records[name] = record
-                    emit(
-                        CellResult(
-                            scenario,
-                            summary,
-                            # A re-lease that found its predecessor's
-                            # summary already persisted did not execute.
-                            cached=bool(record.get("from_cache")),
-                            bank_trainings=int(record.get("bank_trainings", 0)),
-                        )
-                    )
-                else:
-                    seen.add(name)
-                    outstanding.discard(name)
-                    progressed = True
-                    self.completion_records[name] = record
-                    failures.append(
-                        (scenario, record.get("error") or "worker reported failure")
-                    )
-                    failure_details.append(queue.failure_entry(name))
-            if failures and self.fail_fast:
-                # Abort the tail: the queue (leases, pending tasks,
-                # records) survives as-is for post-mortem or --resume.
-                return
-            if not outstanding:
-                break
-            queue.reclaim_expired()
-            if supervisor is not None:
-                supervisor.tick()
-            # Self-heal vanished tasks: an outstanding cell with no
-            # task, lease, or done record cannot finish on its own (a
-            # worker quarantined its corrupt task file, or someone
-            # deleted it) — rewrite the task from the manifest.  The
-            # scan order (tasks, then in-flight leases including
-            # claim-temps, then done) matches the claim and completion
-            # transitions, so a cell mid-move is always seen in at
-            # least one of the three.
-            present = (
-                set(queue.pending_names())
-                | set(queue.inflight_names())
-                | set(queue.done_names())
-            )
-            for name in outstanding - present:
-                queue.ensure_pending(name, by_name[name], rank[name])
-            # A locally-spawned fleet that has died entirely — every
-            # slot's process exited *and* every slot's restart budget
-            # is spent — can never drain the queue; a worker only exits
-            # this early on a crash (clean exits need the sweep
-            # complete or the queue retired), so hanging silently would
-            # hide a real failure.  External fleets (jobs=0, or anyone
-            # holding a live lease) are unaffected — and a cell whose
-            # done record landed after this iteration's scan (`present`
-            # sees it) is not grounds to raise: the next iteration
-            # consumes it.
-            if (
-                supervisor is not None
-                and supervisor.fleet_dead()
-                and not queue.inflight_names()
-                and outstanding - set(queue.done_names())
-            ):
-                raise RuntimeError(
-                    f"local sweep-worker fleet died (restarted "
-                    f"{supervisor.restart_count} time(s), budget spent) with "
-                    f"{len(outstanding)} cell(s) outstanding "
-                    f"(queue: {queue.root}); see {queue.root / 'logs'} for "
-                    "worker output; external workers can still drain it, "
-                    "or rerun to respawn the local fleet"
-                )
-            if deadline is not None and time.monotonic() > deadline:
-                raise TimeoutError(
-                    f"distributed sweep timed out with {len(outstanding)} cell(s) "
-                    f"outstanding (queue: {queue.root})"
-                )
-            if progressed:
-                idle_delay = self.poll_interval
-            else:
-                idle_delay = min(summary_grace, idle_delay * 1.5)
-            delay = idle_delay
-            if supervisor is not None and supervisor.pending_restart():
-                # Never let the idle backoff postpone a self-heal.
-                delay = self.poll_interval
-            time.sleep(delay)
+        """Stream done records into ``emit`` until the queue drains.
+
+        Thin instance wrapper over :func:`tail_done_records` (the
+        shared implementation also driving ``repro serve`` jobs);
+        mutates ``outstanding`` in place so :meth:`run` can report
+        what remained after a stop.
+        """
+        tail_done_records(
+            queue,
+            self.cache,
+            by_name,
+            rank,
+            outstanding,
+            emit,
+            failures,
+            failure_details,
+            poll_interval=self.poll_interval,
+            fail_fast=self.fail_fast,
+            timeout=timeout,
+            supervisor=supervisor,
+            completion_records=self.completion_records,
+            stop=stop,
+        )

@@ -1,0 +1,116 @@
+"""Crash integration test for the serve API: SIGKILL a worker mid-cell.
+
+The full stack, no stubs: a real grid submitted over HTTP in
+coordinate-only mode, drained by real ``repro sweep-worker``
+subprocesses attached to the job's queue directory — one of which is
+SIGKILLed provably mid-cell (after its ``claim`` line, before its
+``done`` line) while a client tails ``/events``.  The stream must ride
+through the crash: the killed cell re-leases to the survivor, its
+event arrives on the same open connection, and the final ``/result``
+body is byte-identical to a serial ``repro sweep`` run of the same
+spec.
+"""
+
+import signal
+import subprocess
+import threading
+
+import pytest
+
+from repro.serve import JobRegistry, SweepClient, SweepService
+from repro.sweep.cache import sweep_out_text
+from repro.sweep.distrib import spawn_local_worker
+from repro.sweep.runner import SweepRunner
+from repro.sweep.scenario import ScenarioGrid
+
+SPEC = {"workload": "LiR", "theta": [0.7, 1.0], "predictor": "oracle", "seed": 0}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    registry = JobRegistry(
+        tmp_path / "cache", jobs=0, fsync=False, poll_interval=0.1
+    )
+    svc = SweepService(registry).start()
+    try:
+        yield svc
+    finally:
+        svc.close()
+
+
+def test_sigkilled_worker_resumes_stream_and_result_is_byte_identical(
+    service, tmp_path
+):
+    serial = SweepRunner(jobs=1).run(ScenarioGrid.from_spec(SPEC))
+    serial_text = sweep_out_text(serial.summaries())
+
+    client = SweepClient(service.url, timeout=300.0)
+    submitted = client.submit(SPEC, jobs=0, lease_ttl=2.0)
+    job_id = submitted["id"]
+    queue_dir = client.status(job_id)["queue_dir"]
+
+    # Tail /events on a live connection for the whole ride: the lines
+    # this thread collects must span the crash.
+    streamed: list = []
+    stream_error: list = []
+
+    def tail():
+        try:
+            streamed.extend(client.stream_events(job_id))
+        except BaseException as error:  # noqa: BLE001 — assert in main thread
+            stream_error.append(error)
+
+    tailer = threading.Thread(target=tail, daemon=True)
+    tailer.start()
+
+    victim = survivor = None
+    try:
+        victim = spawn_local_worker(
+            queue_dir, poll_interval=0.1, stdout=subprocess.PIPE
+        )
+        # The worker prints its claim line *before* executing the cell
+        # (and flushes), so a kill right after reading it lands
+        # provably mid-cell.
+        for raw in victim.stdout:
+            if raw.startswith(b"claim "):
+                break
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+
+        survivor = spawn_local_worker(queue_dir, poll_interval=0.1)
+        final = client.wait(job_id, timeout=300.0)
+        assert final["state"] == "done"
+        tailer.join(timeout=60.0)
+        assert not tailer.is_alive(), "event stream never ended"
+    finally:
+        for process in (victim, survivor):
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait()
+        if victim is not None and victim.stdout is not None:
+            victim.stdout.close()
+        tailer.join(timeout=10.0)
+
+    if stream_error:
+        raise stream_error[0]
+
+    # The one stream saw every cell exactly once, in sequence, then
+    # the terminal state line: the re-lease was invisible to the
+    # client beyond the pause.
+    events, final_line = streamed[:-1], streamed[-1]
+    assert [event["seq"] for event in events] == [0, 1]
+    assert len({event["fingerprint"] for event in events}) == 2
+    assert final_line == {"state": "done", "completed": 2, "total": 2}
+
+    # The crash cost the victim its lease, nothing else: the served
+    # result is byte-identical to the serial run.
+    assert client.result_text(job_id) == serial_text
+
+    # The job's queue was retired on success; the shared cache holds
+    # exactly one summary per cell.
+    assert not service.registry.queue_dir(job_id).exists()
+    cache_root = service.registry.cache.root
+    assert sorted(p.name for p in cache_root.glob("*.json")) == sorted(
+        f"{scenario.fingerprint()}.json"
+        for scenario in ScenarioGrid.from_spec(SPEC)
+    )
