@@ -8,6 +8,9 @@ Commands:
   run one SpotTune HPT simulation and print its accounting;
 * ``trace --instance r3.xlarge [--days 12] [--out prices.csv]`` —
   generate and optionally export a synthetic spot-price dataset;
+  ``trace --chrome out.json --spans spans.ndjson`` instead converts a
+  span log (written by ``sweep --trace``) into a Chrome
+  ``chrome://tracing`` / Perfetto file;
 * ``sweep [--spec grid.json] [--jobs N] [--resume]`` — run a
   declarative scenario grid through the streaming sweep engine, with a
   fingerprint-keyed result cache (see README.md for the spec format).
@@ -29,6 +32,10 @@ Commands:
   persist summaries to the sweep's cache, repeat until the sweep is
   complete.  SIGKILLing a worker mid-cell only delays that cell by one
   lease TTL; a survivor re-leases and re-runs it.
+* ``top QUEUE_DIR`` — one-shot fleet view of a distributed sweep's
+  queue: depth and ledger counts, one row per worker (throughput from
+  the metrics snapshots each worker publishes to ``queue/metrics/``),
+  and the fleet-wide slowest cells.
 * ``lint [--rule NAME ...] [--format json] [--update-baseline]`` —
   run the repo's AST-based invariant checker (determinism, durability,
   byte-identity contracts; see README "Static analysis").  Exits 1 on
@@ -130,6 +137,28 @@ def _run_tune(args: argparse.Namespace) -> int:
 
 
 def _run_trace(args: argparse.Namespace) -> int:
+    if args.chrome:
+        from repro.obs import trace as trace_mod
+
+        if not args.spans:
+            print(
+                "--chrome needs --spans FILE (the span NDJSON log a sweep "
+                "wrote under --trace)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            events = trace_mod.load_events(args.spans)
+        except OSError as error:
+            print(
+                f"cannot read span log {args.spans!r}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        Path(args.chrome).write_text(trace_mod.chrome_trace_text(events))
+        print(f"wrote {args.chrome} ({len(events)} span(s))")
+        return 0
+
     from repro.market.dataset import generate_default_dataset
 
     dataset = generate_default_dataset(seed=args.seed, days=args.days)
@@ -211,6 +240,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
         QueueError,
     )
 
+    if args.trace:
+        from repro import obs
+
+        obs.trace.configure(Path(args.trace))
     if args.jobs < 1 and not args.distributed:
         print(
             f"invalid sweep options: jobs must be >= 1, got {args.jobs} "
@@ -387,6 +420,27 @@ def _run_sweep(args: argparse.Namespace) -> int:
         f"{mode}, {elapsed:.1f}s wall; cache: {where}; banks: {banks_where}",
         flush=True,
     )
+    if args.profile:
+        executed = [cell for cell in result.cells if not cell.cached]
+        slowest = sorted(
+            executed, key=lambda cell: cell.seconds, reverse=True
+        )[: args.profile]
+        rows = [
+            [
+                f"seed={cell.scenario.seed} {cell.scenario.label()}",
+                f"{cell.seconds:.3f}",
+                str(cell.attempt),
+            ]
+            for cell in slowest
+        ]
+        print()
+        print(
+            format_table(
+                ["cell", "wall (s)", "attempt"], rows,
+                title=f"== profile: {len(rows)} slowest cell(s) ==",
+            ),
+            flush=True,
+        )
     if args.out:
         # Grid-ordered canonical JSON — two runs of the same grid are
         # byte-comparable with `cmp`, whatever executed them.
@@ -398,6 +452,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
 def _run_sweep_worker(args: argparse.Namespace) -> int:
     from repro.sweep.distrib import FaultPlan, QueueError, SweepWorker, TaskQueue
 
+    if args.trace:
+        from repro import obs
+
+        obs.trace.configure(Path(args.trace))
     plan = None
     if args.fault_plan:
         try:
@@ -466,6 +524,70 @@ def _run_sweep_worker(args: argparse.Namespace) -> int:
         flush=True,
     )
     return 1 if worker.failed else 0
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    from repro.obs import publish as obs_publish
+    from repro.sweep.distrib import TaskQueue
+
+    queue_root = Path(args.queue_dir)
+    if not queue_root.is_dir():
+        print(f"no queue directory at {queue_root}", file=sys.stderr)
+        return 2
+    # A bare handle: the scan methods need no manifest, and a fleet
+    # view must never mutate queue state.
+    queue = TaskQueue(queue_root)
+    print(
+        f"queue {queue_root}: depth={len(queue.pending_names())} "
+        f"inflight={len(queue.inflight_names())} "
+        f"done={len(queue.done_names())} "
+        f"quarantined={len(queue.failure_names())}",
+        flush=True,
+    )
+    snapshots = obs_publish.load_snapshots(queue_root)
+    if not snapshots:
+        print("no worker snapshots published yet (queue metrics/ is empty)")
+        return 0
+    fleet = obs_publish.merge_fleet(snapshots)
+    rows = []
+    for worker in fleet["workers"]:
+        uptime = float(worker.get("uptime_seconds") or 0.0)
+        executed = int(worker.get("executed") or 0)
+        rate = executed / uptime * 60.0 if uptime > 0 else 0.0
+        age = max(0.0, time.time() - float(worker.get("published_unix") or 0.0))
+        rows.append([
+            str(worker.get("worker", "?")),
+            str(worker.get("pid", "")),
+            f"{uptime:.0f}",
+            str(executed),
+            str(int(worker.get("failed") or 0)),
+            str(int(worker.get("retried") or 0)),
+            f"{rate:.2f}",
+            f"{age:.0f}",
+        ])
+    print()
+    print(format_table(
+        ["worker", "pid", "up (s)", "executed", "failed", "retried",
+         "cells/min", "age (s)"],
+        rows,
+        title=f"== fleet: {len(rows)} worker(s) ==",
+    ))
+    slowest = fleet.get("slowest_cells") or []
+    if slowest:
+        print()
+        print(format_table(
+            ["cell", "wall (s)", "attempt"],
+            [
+                [
+                    str(cell.get("name", "?")),
+                    f"{float(cell.get('seconds', 0.0)):.3f}",
+                    str(cell.get("attempt", 1)),
+                ]
+                for cell in slowest
+            ],
+            title="== slowest cells (fleet-wide) ==",
+        ))
+    return 0
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -596,9 +718,22 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--predictor", choices=("oracle", "revpred"), default="oracle")
     tune.set_defaults(func=_run_tune)
 
-    trace = sub.add_parser("trace", help="generate a synthetic price dataset")
+    trace = sub.add_parser(
+        "trace",
+        help="generate a synthetic price dataset, or export a span log "
+        "to Chrome trace format",
+    )
     trace.add_argument("--days", type=float, default=12.0)
     trace.add_argument("--out", help="CSV output path")
+    trace.add_argument(
+        "--chrome", metavar="FILE",
+        help="convert a span NDJSON log to a Chrome/Perfetto trace file "
+        "instead of generating a dataset (needs --spans)",
+    )
+    trace.add_argument(
+        "--spans", metavar="FILE",
+        help="span NDJSON log written by `repro sweep --trace FILE`",
+    )
     trace.set_defaults(func=_run_trace)
 
     sweep = sub.add_parser("sweep", help="run a declarative scenario grid")
@@ -672,6 +807,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(byte-comparable across serial/pool/distributed runs); on a "
         "partially-failed sweep, the surviving cells are written instead",
     )
+    sweep.add_argument(
+        "--profile", type=int, nargs="?", const=10, default=None, metavar="N",
+        help="after the sweep, print the N slowest executed cells "
+        "(wall seconds and attempt count; default N: %(const)s)",
+    )
+    sweep.add_argument(
+        "--trace", metavar="FILE",
+        help="append operational spans (cell executions) to this NDJSON "
+        "log; export with `repro trace --chrome out.json --spans FILE`",
+    )
     sweep.set_defaults(func=_run_sweep)
 
     worker = sub.add_parser(
@@ -702,7 +847,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON fault-injection plan; hit counters are shared through "
         "the queue's fault-state/ dir so one plan governs the whole fleet",
     )
+    worker.add_argument(
+        "--trace", metavar="FILE",
+        help="append operational spans (cell executions) to this NDJSON log",
+    )
     worker.set_defaults(func=_run_sweep_worker)
+
+    top = sub.add_parser(
+        "top", help="fleet view of a distributed sweep's queue directory"
+    )
+    top.add_argument(
+        "queue_dir", metavar="QUEUE_DIR",
+        help="task-broker directory (e.g. <cache-dir>/queue) of a running "
+        "or finished-but-unretired sweep",
+    )
+    top.set_defaults(func=_run_top)
 
     serve = sub.add_parser(
         "serve", help="run the sweep-as-a-service HTTP API"

@@ -11,6 +11,7 @@ rule                      module
 ``durable-publish``       :mod:`repro.lint.rules.durable`
 ``no-absolute-deadline``  :mod:`repro.lint.rules.deadline`
 ``fault-site-registry``   :mod:`repro.lint.rules.faultsites`
+``no-obs-in-sim``         :mod:`repro.lint.rules.obs`
 ========================  ============================================
 """
 
@@ -19,6 +20,7 @@ from repro.lint.rules import (  # noqa: F401  (import = register)
     durable,
     faultsites,
     frozen,
+    obs,
     rng,
     wallclock,
 )

@@ -27,8 +27,10 @@ from repro.lint.registry import Rule, register
 
 #: ``serve/`` rides along: stream/wait timeouts there must be relative
 #: (monotonic) too — an HTTP tail can outlive any wall-clock
-#: assumption a deadline would bake in.
-SCOPE = ("src/repro/sweep/distrib/", "src/repro/serve/")
+#: assumption a deadline would bake in.  ``obs/`` likewise: snapshot
+#: publish cadence and span durations must never become wall-clock
+#: deadlines read on another host.
+SCOPE = ("src/repro/sweep/distrib/", "src/repro/serve/", "src/repro/obs/")
 
 
 def _is_walltime_call(node: ast.expr, imports: ImportMap) -> bool:

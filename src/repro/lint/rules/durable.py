@@ -33,8 +33,10 @@ from repro.lint.registry import Rule, register
 
 #: Files whose writes land in (or next to) the shared cache tree.
 #: ``serve/`` is in: its job registry lives under the cache root and
-#: is read by restarted servers and concurrent tenants.
-SCOPES = ("src/repro/sweep/distrib/", "src/repro/serve/")
+#: is read by restarted servers and concurrent tenants.  ``obs/`` is
+#: in: worker metric snapshots publish into the queue directory and
+#: are read by the coordinator and ``repro top`` mid-crash.
+SCOPES = ("src/repro/sweep/distrib/", "src/repro/serve/", "src/repro/obs/")
 SCOPE_FILES = ("src/repro/sweep/cache.py", "src/repro/sweep/banks.py")
 
 #: Functions that *are* the atomic-publish machinery; their bodies are

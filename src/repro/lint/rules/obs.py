@@ -1,0 +1,86 @@
+"""``no-obs-in-sim``: telemetry never reaches into simulated code.
+
+The observability plane (:mod:`repro.obs`) reads the host's monotonic
+and wall clocks by design — that is what makes it useful for latency
+histograms and uptime.  The simulation, by contract, derives all time
+from :mod:`repro.sim.clock`, and its outputs must be a pure function
+of the scenario so serial, pooled, distributed and resumed sweeps stay
+byte-identical.  One ``obs.observe(...)`` inside a simulated package
+is harmless today and a coupling hazard forever: the next refactor
+that threads a metric value into a summary, or orders a dict by
+observation time, silently breaks the identity contract.  So the
+boundary is enforced structurally — simulated packages may not import
+or touch ``repro.obs`` at all; instrumentation lives where the
+orchestration layers (queue, worker, runner, serve) *call into* the
+simulation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import ImportMap, resolve_dotted
+from repro.lint.registry import Rule, register
+from repro.lint.rules.wallclock import SIM_SCOPES
+
+_REMEDY = (
+    "telemetry belongs to the orchestration layer: record the metric "
+    "where sweep/queue/worker code calls into the simulation, never "
+    "inside it (the byte-identity contract requires the sim to be a "
+    "pure function of its scenario)"
+)
+
+
+def _is_obs(dotted: str) -> bool:
+    return dotted == "repro.obs" or dotted.startswith("repro.obs.")
+
+
+@register
+class ObsInSimRule(Rule):
+    name = "no-obs-in-sim"
+    description = (
+        "simulated packages (sim/core/market/earlycurve/revpred/"
+        "workloads) must not import or use repro.obs"
+    )
+
+    def check(self, tree) -> Iterator:
+        for rel in tree.py_files():
+            if not rel.startswith(SIM_SCOPES):
+                continue
+            module = tree.tree(rel)
+            imports = ImportMap(module)
+            # One finding per offending line: a dotted usage like
+            # ``obs.trace.span`` walks as nested Attribute nodes that
+            # would otherwise each report the same offence.
+            flagged: set[int] = set()
+            for node in ast.walk(module):
+                lineno = getattr(node, "lineno", None)
+                if lineno is None or lineno in flagged:
+                    continue
+                offence = None
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if _is_obs(alias.name):
+                            offence = f"import {alias.name}"
+                            break
+                elif isinstance(node, ast.ImportFrom):
+                    mod = node.module or ""
+                    if _is_obs(mod):
+                        offence = f"from {mod} import ..."
+                    elif mod == "repro" and any(
+                        alias.name == "obs" for alias in node.names
+                    ):
+                        offence = "from repro import obs"
+                elif isinstance(node, ast.Attribute):
+                    dotted = resolve_dotted(node, imports)
+                    if dotted and _is_obs(dotted):
+                        offence = dotted
+                if offence:
+                    flagged.add(lineno)
+                    yield self.finding(
+                        rel,
+                        lineno,
+                        f"{offence} inside the simulation contract; "
+                        f"{_REMEDY}",
+                    )

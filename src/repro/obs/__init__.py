@@ -1,0 +1,51 @@
+"""Fleet telemetry plane: metrics registry, span tracer, snapshots.
+
+Three stdlib-only pieces (see each module's docstring):
+
+* :mod:`repro.obs.metrics` — thread-safe counters / gauges /
+  fixed-bucket histograms with a Prometheus-text encoder and an
+  order-independent snapshot merge;
+* :mod:`repro.obs.trace` — NDJSON span tracer with a Chrome
+  trace-event exporter (``repro trace --chrome``);
+* :mod:`repro.obs.publish` — durable per-worker snapshot files under
+  ``<queue>/metrics/`` plus the fleet-wide merge behind ``repro top``
+  and ``GET /metrics``.
+
+Hard contract: observability wraps *operational* call sites only.
+Simulated time and results never see it — the ``no-obs-in-sim`` lint
+rule rejects any ``repro.obs`` import inside simulation scopes, and CI
+proves a metrics-enabled distributed sweep stays byte-identical to a
+serial run.
+
+Import discipline: this package imports nothing from the rest of
+``repro`` at module load (``publish`` defers its
+:mod:`repro.sweep.cache` imports into function bodies), so low-level
+modules like ``sweep/cache.py`` can instrument themselves without an
+import cycle.
+"""
+
+from repro.obs import trace
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    MetricsRegistry,
+    inc,
+    merge_snapshots,
+    observe,
+    prometheus_text,
+    set_gauge,
+    timer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "REGISTRY",
+    "MetricsRegistry",
+    "inc",
+    "merge_snapshots",
+    "observe",
+    "prometheus_text",
+    "set_gauge",
+    "timer",
+    "trace",
+]

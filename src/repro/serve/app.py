@@ -28,10 +28,12 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
+from repro import obs
 from repro.serve.jobs import (
     JobConflictError,
     JobRegistry,
@@ -44,6 +46,30 @@ from repro.sweep.cache import canonical_json
 #: Body fields ``POST /v1/sweeps`` accepts; anything else is a typo
 #: worth a 400, not something to silently drop.
 _SUBMIT_FIELDS = {"spec", "jobs", "lease_ttl", "resume"}
+
+
+def _route_template(parts: list) -> str:
+    """The low-cardinality route label for a request path.
+
+    Metrics label the *template* (``/v1/sweeps/{id}``), never the raw
+    path — otherwise every job id mints a fresh label set and the
+    registry grows without bound.
+    """
+    if parts == ["healthz"]:
+        return "/healthz"
+    if parts == ["metrics"]:
+        return "/metrics"
+    if parts == ["v1", "sweeps"]:
+        return "/v1/sweeps"
+    if len(parts) == 3 and parts[:2] == ["v1", "sweeps"]:
+        return "/v1/sweeps/{id}"
+    if (
+        len(parts) == 4
+        and parts[:2] == ["v1", "sweeps"]
+        and parts[3] in ("events", "result", "cancel")
+    ):
+        return "/v1/sweeps/{id}/" + parts[3]
+    return "<unmatched>"
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -85,13 +111,46 @@ class _Handler(BaseHTTPRequestHandler):
         return payload
 
     # -- routing --------------------------------------------------------
-    def do_GET(self):  # noqa: N802 — stdlib naming
+    def send_response(self, code, message=None):
+        # Remember the status for the request metric; streams that are
+        # later torn down by the client still count as what we sent.
+        self._obs_status = code
+        super().send_response(code, message)
+
+    def _dispatch(self, method: str, route_fn) -> None:
         url = urlsplit(self.path)
         parts = [p for p in url.path.split("/") if p]
+        template = _route_template(parts)
+        self._obs_status = 0
+        started = time.monotonic()
+        try:
+            route_fn(url, parts)
+        finally:
+            obs.observe(
+                "repro_http_request_seconds",
+                time.monotonic() - started,
+                route=template,
+            )
+            obs.inc(
+                "repro_http_requests_total",
+                route=template,
+                method=method,
+                status=str(self._obs_status),
+            )
+
+    def do_GET(self):  # noqa: N802 — stdlib naming
+        self._dispatch("GET", self._route_get)
+
+    def do_POST(self):  # noqa: N802 — stdlib naming
+        self._dispatch("POST", self._route_post)
+
+    def _route_get(self, url, parts):
         query = parse_qs(url.query)
         try:
             if parts == ["healthz"]:
                 self._send_json(200, {"ok": True})
+            elif parts == ["metrics"]:
+                self._get_metrics()
             elif parts == ["v1", "sweeps"]:
                 self._send_json(
                     200, {"jobs": self.service.registry.list_jobs()}
@@ -117,9 +176,7 @@ class _Handler(BaseHTTPRequestHandler):
             # The client hung up mid-stream; the job is unaffected.
             self.close_connection = True
 
-    def do_POST(self):  # noqa: N802 — stdlib naming
-        url = urlsplit(self.path)
-        parts = [p for p in url.path.split("/") if p]
+    def _route_post(self, url, parts):
         try:
             if parts == ["v1", "sweeps"]:
                 self._post_submit()
@@ -144,6 +201,23 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
 
     # -- handlers -------------------------------------------------------
+    def _get_metrics(self):
+        """Prometheus text: this process's registry merged with the
+        latest snapshot each attached worker published to its job's
+        queue — one scrape sees the whole fleet, external workers
+        included."""
+        snapshots = [obs.REGISTRY.snapshot()]
+        snapshots.extend(self.service.registry.live_metric_snapshots())
+        text = obs.prometheus_text(obs.merge_snapshots(snapshots))
+        body = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _post_submit(self):
         payload = self._read_body()
         unknown = set(payload) - _SUBMIT_FIELDS

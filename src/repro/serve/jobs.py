@@ -33,6 +33,7 @@ import threading
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.obs import publish as obs_publish
 from repro.sweep.cache import (
     SweepCache,
     canonical_json,
@@ -78,6 +79,18 @@ class UnknownJobError(KeyError):
 
 class JobConflictError(RuntimeError):
     """The requested transition is invalid for the job's state."""
+
+
+def _counter_total(snapshot: dict, name: str) -> int:
+    """Sum of a counter family across all label sets in a snapshot."""
+    total = 0.0
+    for counter in snapshot.get("counters", []):
+        if counter.get("name") == name:
+            try:
+                total += float(counter.get("value", 0))
+            except (TypeError, ValueError):
+                continue
+    return int(total)
 
 
 def job_id_for(scenarios) -> str:
@@ -135,6 +148,10 @@ class JobRegistry:
         self._lock = threading.Lock()
         self._threads: dict[str, threading.Thread] = {}
         self._stops: dict[str, threading.Event] = {}
+        #: Live runner per running job, for status probes that want
+        #: in-flight telemetry (supervisor restart counts) a durable
+        #: record can only have after the job settles.
+        self._runners: dict[str, DistributedSweepRunner] = {}
         #: Why each stop was set ("cancel" drains and retires the
         #: queue; "shutdown" leaves the job adoptable).
         self._stop_reasons: dict[str, str] = {}
@@ -215,6 +232,8 @@ class JobRegistry:
             "error": None,
             "failures": [],
             "cancel": None,
+            "worker_restarts": 0,
+            "lost_leases": 0,
         }
         with self._lock:
             existing = self._load_record(job_id)
@@ -291,6 +310,8 @@ class JobRegistry:
                 max_attempts=record["max_attempts"],
                 fsync=self.fsync,
             )
+            with self._lock:
+                self._runners[job_id] = runner
             result = runner.run(scenarios, on_cell=on_cell, stop=stop)
         except SweepCancelled:
             # cancel()/close() owns the aftermath: a cancel finalises
@@ -302,15 +323,28 @@ class JobRegistry:
                 {"fingerprint": s.fingerprint(), "error": message}
                 for s, message in error.failures
             ]
-            self._finish(job_id, "failed", error=str(error), failures=failures)
+            self._finish(
+                job_id,
+                "failed",
+                error=str(error),
+                failures=failures,
+                telemetry=self._job_telemetry(job_id),
+            )
             return
         except Exception as error:  # noqa: BLE001 — job must record any crash
-            self._finish(job_id, "failed", error=f"{type(error).__name__}: {error}")
+            self._finish(
+                job_id,
+                "failed",
+                error=f"{type(error).__name__}: {error}",
+                telemetry=self._job_telemetry(job_id),
+            )
             return
         self._publish(
             self.result_path(job_id), sweep_out_text(result.summaries())
         )
-        self._finish(job_id, "done")
+        self._finish(
+            job_id, "done", telemetry=self._job_telemetry(job_id)
+        )
 
     def _finish(
         self,
@@ -320,6 +354,7 @@ class JobRegistry:
         error: Optional[str] = None,
         failures: Optional[list] = None,
         cancel: Optional[dict] = None,
+        telemetry: Optional[dict] = None,
     ) -> None:
         with self._lock:
             record = self._load_record(job_id)
@@ -331,7 +366,46 @@ class JobRegistry:
                 record["failures"] = failures
             if cancel is not None:
                 record["cancel"] = cancel
+            if telemetry is not None:
+                record.update(telemetry)
             self._write_record(record)
+
+    def _job_telemetry(self, job_id: str) -> dict:
+        """Final restart/lost-lease counts, persisted into the record
+        so a settled job's status keeps them after its queue retires.
+        A done job's queue is already gone, so the snapshot merge the
+        coordinator kept (:attr:`DistributedSweepRunner.fleet_metrics`)
+        is read first; a failed job's queue survives and is read live.
+        """
+        runner = self._runners.get(job_id)
+        supervisor = getattr(runner, "_supervisor", None)
+        restarts = supervisor.restart_count if supervisor is not None else 0
+        fleet = getattr(runner, "fleet_metrics", None)
+        if fleet is None:
+            fleet = obs_publish.merge_fleet(
+                obs_publish.load_snapshots(self.queue_dir(job_id))
+            )
+        return {
+            "worker_restarts": int(restarts),
+            "lost_leases": _counter_total(
+                fleet.get("metrics") or {}, "repro_lease_overthrows_total"
+            ),
+        }
+
+    def live_metric_snapshots(self) -> list[dict]:
+        """Registry snapshots published by workers of non-terminal jobs
+        (the fleet half of the ``GET /metrics`` merge)."""
+        snapshots = []
+        for record in self.list_jobs():
+            if record["state"] in TERMINAL_STATES:
+                continue
+            for payload in obs_publish.load_snapshots(
+                self.queue_dir(record["id"])
+            ):
+                metrics = payload.get("metrics")
+                if isinstance(metrics, dict):
+                    snapshots.append(metrics)
+        return snapshots
 
     # -- events ---------------------------------------------------------
     def _emitted_events(self, job_id: str) -> tuple[set, int]:
@@ -439,6 +513,24 @@ class JobRegistry:
         status["completed"] = len(events)
         status["queue"] = queue_stats
         status["queue_dir"] = str(queue_dir)
+        # Telemetry: live values while the job runs (supervisor counts,
+        # worker snapshots), the persisted record's after it settles.
+        runner = self._runners.get(job_id)
+        supervisor = getattr(runner, "_supervisor", None)
+        if record["state"] not in TERMINAL_STATES and supervisor is not None:
+            status["worker_restarts"] = int(supervisor.restart_count)
+        else:
+            status["worker_restarts"] = int(record.get("worker_restarts", 0))
+        if record["state"] not in TERMINAL_STATES and queue_dir.exists():
+            status["lost_leases"] = sum(
+                _counter_total(
+                    payload.get("metrics") or {},
+                    "repro_lease_overthrows_total",
+                )
+                for payload in obs_publish.load_snapshots(queue_dir)
+            )
+        else:
+            status["lost_leases"] = int(record.get("lost_leases", 0))
         return status
 
     def result_text(self, job_id: str) -> str:

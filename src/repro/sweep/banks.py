@@ -36,6 +36,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Mapping, Optional
 
+from repro import obs
 from repro.cloud.instance import get_instance_type
 from repro.market.features import FeatureExtractor
 from repro.nn.serialize import load_weights, save_weights
@@ -170,6 +171,20 @@ class BankCache:
         makes the artifact untrusted and reads as a miss (the caller
         retrains and overwrites).
         """
+        bank = self._load(spec, model_factory, inference_dataset)
+        obs.inc(
+            "repro_bank_cache_hits_total"
+            if bank is not None
+            else "repro_bank_cache_misses_total"
+        )
+        return bank
+
+    def _load(
+        self,
+        spec: Mapping[str, Any],
+        model_factory: Callable[[int], object],
+        inference_dataset,
+    ) -> Optional[PredictorBank]:
         meta_path = self.path_for(spec) / "meta.json"
         try:
             meta = json.loads(meta_path.read_text())
@@ -236,38 +251,42 @@ class BankCache:
         }
         tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
         try:
-            tmp.mkdir(parents=True, exist_ok=True)
-            for name, predictor in bank.predictors.items():
-                save_weights(predictor.model, tmp / f"{name}.npz")
-                if self.fsync:
-                    fsync_file(tmp / f"{name}.npz")
-            # The meta/weights publish order matters for durability:
-            # meta lands last and fsync'd, so a crash mid-assembly can
-            # only leave weights without meta (``load`` reads that as a
-            # miss), never a meta naming weights that were lost.
-            fsync_write_text(
-                tmp / "meta.json", canonical_json(meta), fsync=self.fsync
-            )
-            if self.fsync:
-                fsync_dir(tmp)
-            try:
-                os.rename(tmp, path)
-                if self.fsync:
-                    fsync_dir(self.root)
-            except OSError:
-                # The slot is occupied (rename onto a non-empty
-                # directory fails).  Keep a concurrent writer's intact
-                # artifact; evict and replace anything broken.
-                if self._artifact_intact(path):
-                    shutil.rmtree(tmp, ignore_errors=True)
-                else:
-                    shutil.rmtree(path, ignore_errors=True)
-                    os.rename(tmp, path)
-                    if self.fsync:
-                        fsync_dir(self.root)
+            with obs.timer("repro_bank_store_seconds"):
+                return self._store_at(path, tmp, bank, meta)
         except BaseException:
             shutil.rmtree(tmp, ignore_errors=True)
             raise
+
+    def _store_at(self, path: Path, tmp: Path, bank, meta: dict) -> Path:
+        tmp.mkdir(parents=True, exist_ok=True)
+        for name, predictor in bank.predictors.items():
+            save_weights(predictor.model, tmp / f"{name}.npz")
+            if self.fsync:
+                fsync_file(tmp / f"{name}.npz")
+        # The meta/weights publish order matters for durability:
+        # meta lands last and fsync'd, so a crash mid-assembly can
+        # only leave weights without meta (``load`` reads that as a
+        # miss), never a meta naming weights that were lost.
+        fsync_write_text(
+            tmp / "meta.json", canonical_json(meta), fsync=self.fsync
+        )
+        if self.fsync:
+            fsync_dir(tmp)
+        try:
+            os.rename(tmp, path)
+            if self.fsync:
+                fsync_dir(self.root)
+        except OSError:
+            # The slot is occupied (rename onto a non-empty
+            # directory fails).  Keep a concurrent writer's intact
+            # artifact; evict and replace anything broken.
+            if self._artifact_intact(path):
+                shutil.rmtree(tmp, ignore_errors=True)
+            else:
+                shutil.rmtree(path, ignore_errors=True)
+                os.rename(tmp, path)
+                if self.fsync:
+                    fsync_dir(self.root)
         return path
 
     @staticmethod

@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 from typing import Any, Optional
 
+from repro import obs
 from repro.sweep.scenario import SCHEMA_VERSION, Scenario
 
 #: Temp files older than this are orphans of a killed writer (a live
@@ -213,6 +214,15 @@ class SweepCache:
         scenario does not match (a fingerprint collision or a stale
         hand-edited file), are ignored rather than trusted.
         """
+        summary = self._load(scenario)
+        obs.inc(
+            "repro_cache_hits_total"
+            if summary is not None
+            else "repro_cache_misses_total"
+        )
+        return summary
+
+    def _load(self, scenario: Scenario) -> Optional[dict]:
         path = self.path_for(scenario)
         if not path.exists():
             return None
@@ -247,10 +257,11 @@ class SweepCache:
         # keeps every write-then-rename private until the atomic swap.
         tmp = path.with_suffix(f".json.tmp{os.getpid()}")
         try:
-            fsync_write_text(tmp, canonical_json(payload), fsync=self.fsync)
-            os.replace(tmp, path)
-            if self.fsync:
-                fsync_dir(path.parent)
+            with obs.timer("repro_cache_store_seconds"):
+                fsync_write_text(tmp, canonical_json(payload), fsync=self.fsync)
+                os.replace(tmp, path)
+                if self.fsync:
+                    fsync_dir(path.parent)
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise

@@ -26,6 +26,8 @@ import time
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
+from repro import obs
+from repro.obs import publish as obs_publish
 from repro.sweep.banks import BankCache
 from repro.sweep.cache import SweepCache
 from repro.sweep.distrib.faults import FaultPlan
@@ -149,6 +151,18 @@ def tail_done_records(
     # fleet stops burning a scan per poll_interval, yet reacts at full
     # speed the moment completions stream again.
     idle = AdaptiveDelay(poll_interval, summary_grace)
+
+    def note_done(name: str) -> None:
+        # Done-record tail latency: how long the record sat on the
+        # mount before this tail consumed it.  A *difference* of
+        # wall-clock readings (mount mtime vs. now), clamped at zero
+        # against skew — never an absolute deadline.
+        try:
+            age = time.time() - os.stat(queue.done_dir / name).st_mtime
+        except (OSError, AttributeError, TypeError):
+            return
+        obs.observe("repro_coordinator_tail_latency_seconds", max(0.0, age))
+
     while outstanding:
         if stop is not None and stop.is_set():
             return
@@ -167,6 +181,7 @@ def tail_done_records(
                     if time.monotonic() - first < summary_grace:
                         continue  # keep outstanding; re-poll
                     seen.add(name)
+                    note_done(name)
                     outstanding.discard(name)
                     progressed = True
                     if completion_records is not None:
@@ -178,6 +193,7 @@ def tail_done_records(
                     continue
                 summary_missing_since.pop(name, None)
                 seen.add(name)
+                note_done(name)
                 outstanding.discard(name)
                 progressed = True
                 if completion_records is not None:
@@ -190,10 +206,13 @@ def tail_done_records(
                         # summary already persisted did not execute.
                         cached=bool(record.get("from_cache")),
                         bank_trainings=int(record.get("bank_trainings", 0)),
+                        seconds=float(record.get("seconds", 0.0) or 0.0),
+                        attempt=int(record.get("attempt", 1) or 1),
                     )
                 )
             else:
                 seen.add(name)
+                note_done(name)
                 outstanding.discard(name)
                 progressed = True
                 if completion_records is not None:
@@ -210,7 +229,9 @@ def tail_done_records(
             break
         queue.reclaim_expired()
         if supervisor is not None:
-            supervisor.tick()
+            restarted = supervisor.tick()
+            if restarted:
+                obs.inc("repro_worker_restarts_total", restarted)
         # Self-heal vanished tasks: an outstanding cell with no
         # task, lease, or done record cannot finish on its own (a
         # worker quarantined its corrupt task file, or someone
@@ -219,13 +240,16 @@ def tail_done_records(
         # claim-temps, then done) matches the claim and completion
         # transitions, so a cell mid-move is always seen in at
         # least one of the three.
+        pending = queue.pending_names()
+        obs.set_gauge("repro_queue_depth", len(pending))
         present = (
-            set(queue.pending_names())
+            set(pending)
             | set(queue.inflight_names())
             | set(queue.done_names())
         )
         for name in outstanding - present:
             queue.ensure_pending(name, by_name[name], rank[name])
+            obs.inc("repro_coordinator_heals_total")
         # A locally-spawned fleet that has died entirely — every
         # slot's process exited *and* every slot's restart budget
         # is spent — can never drain the queue; a worker only exits
@@ -384,6 +408,12 @@ class DistributedSweepRunner:
         #: Local-fleet respawns performed by the supervisor in the last
         #: :meth:`run` (0 with ``jobs=0`` or a healthy fleet).
         self.worker_restarts = 0
+        #: Live supervisor handle while :meth:`run` is tailing (exposes
+        #: a mid-run restart count to ``repro serve`` status).
+        self._supervisor = None
+        #: Merged fleet snapshot (see ``repro.obs.publish.merge_fleet``)
+        #: captured just before a successful run retires its queue.
+        self.fleet_metrics: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def _write_market_snapshots(self, scenarios) -> None:
@@ -582,6 +612,7 @@ class DistributedSweepRunner:
                 else {"max_restarts": self.max_restarts}
             ),
         )
+        self._supervisor = supervisor
         try:
             supervisor.start()
             self._tail(
@@ -617,6 +648,16 @@ class DistributedSweepRunner:
                 persisted=True,
                 details=failure_details,
             )
+        # Absorb the workers' published metric snapshots into this
+        # process's registry *before* the queue (snapshots included) is
+        # retired: fleet counters — claims, cell histograms, retries —
+        # accumulate in worker processes, and this is the last moment
+        # they are readable.  A post-run ``GET /metrics`` (or a test)
+        # then deterministically shows fleet totals.
+        self.fleet_metrics = obs_publish.merge_fleet(
+            obs_publish.load_snapshots(queue.root)
+        )
+        obs.REGISTRY.absorb(self.fleet_metrics["metrics"])
         # A drained queue is coordination state, not results (those are
         # in the cache) — retire it, so a later identical sweep
         # re-executes like ``SweepRunner`` would instead of silently

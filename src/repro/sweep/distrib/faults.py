@@ -285,6 +285,13 @@ class FaultPlan:
         rule = self.fire(site, key)
         if rule is None:
             return None
+        # Counted before the action executes: a ``kill`` never returns,
+        # and the injection still happened.  (A killed process's
+        # in-memory registry dies with it unless a snapshot was
+        # published first — acceptable for rehearsals.)
+        from repro import obs
+
+        obs.inc("repro_faults_injected_total", site=site)
         if rule.action == "kill":
             os.kill(os.getpid(), signal.SIGKILL)
         if rule.action == "raise":

@@ -19,6 +19,7 @@ import threading
 import time
 from typing import TYPE_CHECKING, Optional
 
+from repro import obs
 from repro.sweep.distrib import faults as faults_mod
 from repro.sweep.scenario import Scenario
 
@@ -65,12 +66,17 @@ class Lease:
         us (expired while we stalled) — the caller must not complete
         the task.
         """
+        started = time.monotonic()
         if not self.held():
+            obs.inc("repro_lease_overthrows_total")
             return False
         try:
             os.utime(self.path)
         except OSError:
+            obs.inc("repro_lease_overthrows_total")
             return False
+        obs.inc("repro_lease_renewals_total")
+        obs.observe("repro_lease_renew_seconds", time.monotonic() - started)
         return True
 
     def release(self) -> None:

@@ -44,6 +44,7 @@ import time
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+from repro import obs
 from repro.sweep.cache import fsync_dir, fsync_write_text
 from repro.sweep.distrib import faults as faults_mod
 from repro.sweep.distrib.faults import FaultPlan
@@ -236,8 +237,10 @@ class TaskQueue:
         if queue.root.exists() and any(
             # Fault-injection scaffolding is bound before create (its
             # hit counters must cover the enqueue writes) and does not
-            # make the directory someone else's sweep.
-            entry.name not in ("fault-state", "fault-plan.json")
+            # make the directory someone else's sweep; likewise a
+            # leftover metrics/ dir from a previous fleet is telemetry,
+            # not sweep identity.
+            entry.name not in ("fault-state", "fault-plan.json", "metrics")
             for entry in queue.root.iterdir()
         ):
             raise QueueError(
@@ -278,6 +281,7 @@ class TaskQueue:
                     "attempt": 0,
                 },
             )
+            obs.inc("repro_queue_enqueued_total")
 
     def publish_manifest(self) -> None:
         """Make the queue joinable (attach blocks on the manifest).
@@ -441,7 +445,11 @@ class TaskQueue:
                 continue
             lease = self._claim_one(name, owner)
             if lease is not None:
+                obs.inc("repro_queue_claims_total")
                 return lease
+            # The candidate was eligible but the rename went to a
+            # sibling (or the task vanished): claim contention.
+            obs.inc("repro_queue_claim_races_total")
         return None
 
     def _deferred(self, name: str, now: float) -> bool:
@@ -577,6 +585,8 @@ class TaskQueue:
             if self._age_of(entry, now) > self.lease_ttl:
                 if self._rename_quiet(entry.path, self.tasks_dir / name):
                     requeued.append(name)
+        if requeued:
+            obs.inc("repro_queue_reclaims_total", len(requeued))
         return requeued
 
     @staticmethod
@@ -616,11 +626,13 @@ class TaskQueue:
         faults_mod.perform(self.faults, "queue.done.write", name)
         self._write_atomic(self.done_dir / name, record)
         self._unlink_quiet(self.leases_dir / name)
+        obs.inc("repro_queue_done_total")
 
     def record_failure(self, name: str, entry: dict) -> None:
         """Ledger a poison cell (crash-safe, atomic, fsync'd)."""
         self.failures_dir.mkdir(parents=True, exist_ok=True)
         self._write_atomic(self.failures_dir / name, entry)
+        obs.inc("repro_queue_quarantined_total")
 
     def failure_entry(self, name: str) -> Optional[dict]:
         try:

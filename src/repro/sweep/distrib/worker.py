@@ -18,6 +18,7 @@ byte-identical to a serial run.
 
 from __future__ import annotations
 
+import heapq
 import os
 import re
 import socket
@@ -26,6 +27,8 @@ import uuid
 import time
 from typing import Callable, Optional
 
+from repro import obs
+from repro.obs import publish as obs_publish
 from repro.sweep import banks as banks_mod
 from repro.sweep.banks import BankCache
 from repro.sweep.cache import SweepCache
@@ -112,6 +115,11 @@ class SweepWorker:
         self.executed = 0
         self.failed = 0
         self.retried = 0
+        self._started_monotonic = time.monotonic()
+        #: Min-heap of the ten slowest executed cells as
+        #: ``(seconds, name, attempt)`` — published with every metrics
+        #: snapshot so ``repro top`` can rank the fleet's stragglers.
+        self._slowest: list[tuple[float, str, int]] = []
         manifest = queue.manifest
         cache_root = queue.resolve(manifest.get("cache"))
         banks_root = queue.resolve(manifest.get("banks"))
@@ -132,25 +140,73 @@ class SweepWorker:
     # ------------------------------------------------------------------
     def run(self) -> int:
         """Work until the sweep completes; returns cells executed."""
-        while not self._reached_cap():
-            lease = self.queue.claim(self.worker_id)
-            if lease is None:
-                if self.queue.is_complete():
-                    break
-                if self.queue.retired():
-                    # The queue was retired (the coordinator assembled
-                    # the result and removed it) or deleted outright —
-                    # there is nothing left to wait for.  Transient
-                    # manifest read errors deliberately don't count.
-                    break
-                # Nothing claimable: give crashed siblings' leases a
-                # chance to expire, then retry immediately if one did.
-                if self.queue.reclaim_expired():
+        # Snapshots land at least once per heartbeat generation
+        # (TTL/4), so a fleet view never lags a worker by more than a
+        # liveness window.  The publisher survives queue retirement
+        # (publish failures are swallowed) and its final stop() flush
+        # captures the counters of the worker's last cell.
+        publisher = obs_publish.MetricsPublisher(
+            self.queue.root,
+            self.worker_id,
+            self._snapshot_payload,
+            interval=min(
+                obs_publish.DEFAULT_PUBLISH_INTERVAL,
+                max(0.5, self.queue.lease_ttl / 4.0),
+            ),
+            fsync=self.queue.fsync,
+        ).start()
+        try:
+            while not self._reached_cap():
+                lease = self.queue.claim(self.worker_id)
+                if lease is None:
+                    if self.queue.is_complete():
+                        break
+                    if self.queue.retired():
+                        # The queue was retired (the coordinator assembled
+                        # the result and removed it) or deleted outright —
+                        # there is nothing left to wait for.  Transient
+                        # manifest read errors deliberately don't count.
+                        break
+                    # Nothing claimable: give crashed siblings' leases a
+                    # chance to expire, then retry immediately if one did.
+                    if self.queue.reclaim_expired():
+                        continue
+                    time.sleep(self.poll_interval)
                     continue
-                time.sleep(self.poll_interval)
-                continue
-            self._run_cell(lease)
+                with obs.trace.span(
+                    "cell",
+                    cell=lease.name,
+                    attempt=lease.attempt,
+                    worker=self.worker_id,
+                ):
+                    self._run_cell(lease)
+        finally:
+            publisher.stop()
         return self.executed
+
+    def _snapshot_payload(self) -> dict:
+        return obs_publish.snapshot_payload(
+            self.worker_id,
+            uptime_seconds=time.monotonic() - self._started_monotonic,
+            executed=self.executed,
+            failed=self.failed,
+            retried=self.retried,
+            slowest_cells=self.slowest_cells(),
+        )
+
+    def slowest_cells(self) -> list[dict]:
+        """The slowest executed cells, slowest first."""
+        return [
+            {"name": name, "seconds": seconds, "attempt": attempt}
+            for seconds, name, attempt in sorted(self._slowest, reverse=True)
+        ]
+
+    def _note_cell_duration(self, lease, scenario, seconds: float) -> None:
+        obs.observe("repro_worker_cell_seconds", seconds)
+        name = f"seed={scenario.seed} {scenario.label()}"
+        heapq.heappush(self._slowest, (seconds, name, lease.attempt))
+        if len(self._slowest) > 10:
+            heapq.heappop(self._slowest)
 
     def _reached_cap(self) -> bool:
         return self.max_cells is not None and self.executed >= self.max_cells
@@ -185,10 +241,12 @@ class SweepWorker:
             )
             return
         trained_before = banks_mod.train_count()
+        seconds = 0.0
         if summary is None:
             # The heartbeat thread renews the lease every TTL/4 for as
             # long as the simulation runs, so a slow cell is never
             # mistaken for a dead worker's.
+            cell_started = time.monotonic()
             with Heartbeat(lease) as heartbeat:
                 try:
                     faults_mod.perform(
@@ -204,6 +262,8 @@ class SweepWorker:
                 except Exception as exc:  # noqa: BLE001 — isolate sibling cells
                     error = f"{type(exc).__name__}: {exc}"
                     traceback_text = traceback_mod.format_exc()
+            seconds = time.monotonic() - cell_started
+            self._note_cell_duration(lease, scenario, seconds)
             if heartbeat.lost:
                 # Overthrown: the whole process stalled past the TTL
                 # (heartbeat thread included — e.g. a laptop suspend)
@@ -212,6 +272,8 @@ class SweepWorker:
                 # so the fleet observes a single effective execution.
                 return
         trained = banks_mod.train_count() - trained_before
+        if trained:
+            obs.inc("repro_bank_trainings_total", trained)
         if not lease.renew():
             return  # overthrown between the last beat and now
         if error is None and not from_cache:
@@ -228,12 +290,18 @@ class SweepWorker:
         if error is not None:
             self.executed += 1
             self.failed += 1
+            obs.inc("repro_worker_cells_total", status="failed")
             if lease.attempt < self.max_attempts:
                 self._retry(lease, error, traceback_text)
             else:
-                self._quarantine(lease, error, traceback_text, trained=trained)
+                self._quarantine(
+                    lease, error, traceback_text, trained=trained, seconds=seconds
+                )
             return
         self.executed += 1
+        obs.inc(
+            "repro_worker_cells_total", status="cached" if from_cache else "ok"
+        )
         record = {
             "ok": True,
             "error": None,
@@ -242,6 +310,7 @@ class SweepWorker:
             "attempt": lease.attempt,
             "bank_trainings": trained,
             "from_cache": from_cache,
+            "seconds": round(seconds, 6),
         }
         try:
             lease.complete(record)
@@ -266,11 +335,19 @@ class SweepWorker:
         except OSError:
             return  # queue retired mid-retry; nothing left to requeue
         self.retried += 1
+        obs.inc("repro_worker_retries_total")
+        obs.observe("repro_worker_retry_wait_seconds", delay)
         if self.on_retry is not None:
             self.on_retry(lease, error, delay)
 
     def _quarantine(
-        self, lease: Lease, error: str, traceback_text, *, trained: int
+        self,
+        lease: Lease,
+        error: str,
+        traceback_text,
+        *,
+        trained: int,
+        seconds: float = 0.0,
     ) -> None:
         """Budget exhausted: ledger the poison cell, then mark it done
         (``ok=False``) so the sweep terminates instead of re-leasing
@@ -288,6 +365,7 @@ class SweepWorker:
             self.queue.record_failure(lease.name, entry)
         except OSError:
             pass  # a full disk must not keep the cell re-leasing forever
+        obs.inc("repro_worker_cells_total", status="quarantined")
         record = {
             "ok": False,
             "error": error,
@@ -298,6 +376,7 @@ class SweepWorker:
             "attempt": lease.attempt,
             "bank_trainings": trained,
             "from_cache": False,
+            "seconds": round(seconds, 6),
         }
         try:
             lease.complete(record)

@@ -34,10 +34,12 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import time
 from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Iterable, Union
 
+from repro import obs
 from repro.market.trace import HOUR
 from repro.sweep import banks as banks_mod
 from repro.sweep.banks import BankCache
@@ -211,7 +213,7 @@ def _caches_for(cache_root, bank_root):
 
 def _pool_run_cell(
     payload: tuple[dict, Union[str, None], Union[str, None]]
-) -> tuple[str, Union[dict, None], Union[str, None], int]:
+) -> tuple[str, Union[dict, None], Union[str, None], int, float]:
     """Pool worker entry point: run ONE cell, tag it by fingerprint.
 
     One task per cell is what makes the executor streaming: the parent
@@ -233,6 +235,7 @@ def _pool_run_cell(
     scenario = Scenario.from_dict(scenario_dict)
     cache, bank_cache = _caches_for(cache_root, bank_root)
     trained_before = banks_mod.train_count()
+    started = time.monotonic()
     try:
         summary = run_scenario(
             scenario,
@@ -247,7 +250,10 @@ def _pool_run_cell(
             None,
             f"{type(error).__name__}: {error}",
             banks_mod.train_count() - trained_before,
+            time.monotonic() - started,
         )
+    seconds = time.monotonic() - started
+    obs.observe("repro_worker_cell_seconds", seconds)
     if cache is not None:
         cache.store(scenario, summary)
     return (
@@ -255,6 +261,7 @@ def _pool_run_cell(
         summary,
         None,
         banks_mod.train_count() - trained_before,
+        seconds,
     )
 
 
@@ -339,6 +346,13 @@ class CellResult:
     #: of ``summary`` on purpose: summaries must stay byte-identical
     #: between a fresh run and a cache replay.
     bank_trainings: int = 0
+    #: Wall seconds the cell's simulation took on whatever worker ran
+    #: it (0.0 for cache hits).  Telemetry only — like
+    #: ``bank_trainings``, never part of ``summary``.
+    seconds: float = 0.0
+    #: Queue attempt the cell completed on (1 everywhere except a
+    #: distributed cell that was retried or re-leased).
+    attempt: int = 1
 
 
 class SweepCellError(RuntimeError):
@@ -525,13 +539,22 @@ class SweepRunner:
         else:
             for scenario in pending:
                 trained_before = banks_mod.train_count()
+                started = time.monotonic()
                 try:
-                    summary = run_scenario(scenario, self._context, self.bank_cache)
+                    with obs.trace.span(
+                        "cell",
+                        cell=f"seed={scenario.seed} {scenario.label()}",
+                    ):
+                        summary = run_scenario(
+                            scenario, self._context, self.bank_cache
+                        )
                 except Exception as error:  # noqa: BLE001 — drain siblings
                     failures.append(
                         (scenario, f"{type(error).__name__}: {error}")
                     )
                     continue
+                seconds = time.monotonic() - started
+                obs.observe("repro_worker_cell_seconds", seconds)
                 if self.cache is not None:
                     self.cache.store(scenario, summary)
                 emit(
@@ -539,6 +562,7 @@ class SweepRunner:
                         scenario,
                         summary,
                         bank_trainings=banks_mod.train_count() - trained_before,
+                        seconds=seconds,
                     )
                 )
         if failures:
@@ -605,11 +629,20 @@ class SweepRunner:
             # its worker finishes it, already persisted and crash-safe,
             # so on_cell (and the CLI progress line) fires in real
             # completion order — no shard barrier.
-            for fingerprint, summary, error, trained in results:
+            for fingerprint, summary, error, trained, seconds in results:
                 scenario = by_fingerprint[fingerprint]
                 if error is not None:
                     failures.append((scenario, error))
                 else:
+                    # Re-observed in the parent: the worker's registry
+                    # died with its process, but --profile and /metrics
+                    # read the parent's.
+                    obs.observe("repro_worker_cell_seconds", seconds)
                     emit(
-                        CellResult(scenario, summary, bank_trainings=trained)
+                        CellResult(
+                            scenario,
+                            summary,
+                            bank_trainings=trained,
+                            seconds=seconds,
+                        )
                     )

@@ -1,0 +1,8 @@
+"""Bad: telemetry reaching into the simulation contract."""
+
+from repro import obs
+
+
+def step(cost: float) -> float:
+    obs.inc("sim_steps_total")
+    return cost * 2.0

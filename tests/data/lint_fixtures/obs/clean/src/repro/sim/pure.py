@@ -1,0 +1,5 @@
+"""Clean: the sim is a pure function of its inputs."""
+
+
+def step(cost: float) -> float:
+    return cost * 2.0

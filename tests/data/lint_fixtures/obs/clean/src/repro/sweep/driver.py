@@ -1,0 +1,8 @@
+"""Clean: the orchestration layer may instrument its sim calls."""
+
+from repro import obs
+
+
+def run(cost: float) -> float:
+    obs.inc("repro_worker_cells_total")
+    return cost

@@ -35,6 +35,7 @@ RULE_FIXTURES = {
     "deadline": "no-absolute-deadline",
     "frozen": "frozen-reference",
     "faultsites": "fault-site-registry",
+    "obs": "no-obs-in-sim",
 }
 
 
@@ -46,7 +47,7 @@ def lint_rules(root: Path, rule: str):
 # Registry / framework basics
 # ----------------------------------------------------------------------
 class TestFramework:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert set(all_rules()) == set(RULE_FIXTURES.values())
 
     def test_rules_have_descriptions(self):
@@ -144,6 +145,16 @@ class TestRuleFixtures:
         findings = lint_rules(root, "frozen-reference")
         assert len(findings) == 1
         assert "missing from the tree" in findings[0].message
+
+    def test_obs_catches_import_and_usage(self):
+        findings = lint_rules(FIXTURES / "obs" / "bad", "no-obs-in-sim")
+        messages = " ".join(f.message for f in findings)
+        # The import and the obs.inc usage are separate findings; the
+        # clean tree's sweep/ driver uses obs identically and stays
+        # silent, proving the scope is the sim packages, not the repo.
+        assert len(findings) == 2
+        assert "from repro import obs" in messages
+        assert "repro.obs.inc" in messages
 
     def test_faultsites_catches_both_directions(self):
         findings = lint_rules(FIXTURES / "faultsites" / "bad", "fault-site-registry")
